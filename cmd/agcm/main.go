@@ -1,0 +1,203 @@
+// Command agcm runs one configured parallel AGCM simulation on a simulated
+// machine and prints the per-component timing breakdown in seconds per
+// simulated day, plus the load-imbalance diagnostics.
+//
+// Example:
+//
+//	agcm -machine paragon -mesh 8x30 -filter fft-lb -physics pairwise -layers 9 -steps 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"agcm/internal/core"
+	"agcm/internal/dynamics"
+	"agcm/internal/grid"
+	"agcm/internal/history"
+	"agcm/internal/machine"
+	"agcm/internal/physics"
+	"agcm/internal/stats"
+	"agcm/internal/trace"
+)
+
+func parseMesh(s string) (py, px int, err error) {
+	if _, err := fmt.Sscanf(strings.ToLower(s), "%dx%d", &py, &px); err != nil {
+		return 0, 0, fmt.Errorf("invalid mesh %q (want e.g. 8x30)", s)
+	}
+	return py, px, nil
+}
+
+func parseFilter(s string) (core.FilterVariant, error) {
+	switch s {
+	case "conv", "convolution", "convolution-ring":
+		return core.FilterConvolutionRing, nil
+	case "conv-tree", "convolution-tree":
+		return core.FilterConvolutionTree, nil
+	case "fft":
+		return core.FilterFFT, nil
+	case "fft-lb", "fft-load-balanced":
+		return core.FilterFFTBalanced, nil
+	case "fft-rowwise":
+		return core.FilterFFTRowwise, nil
+	case "polar-diffusion", "polar-implicit-diffusion":
+		return core.FilterPolarDiffusion, nil
+	case "none":
+		return core.FilterNone, nil
+	}
+	return 0, fmt.Errorf(
+		"unknown filter %q (conv, conv-tree, fft, fft-lb, fft-rowwise, polar-diffusion, none)", s)
+}
+
+func parseScheme(s string) (physics.Scheme, error) {
+	switch s {
+	case "none":
+		return physics.None, nil
+	case "shuffle":
+		return physics.Shuffle, nil
+	case "greedy":
+		return physics.Greedy, nil
+	case "pairwise":
+		return physics.Pairwise, nil
+	}
+	return 0, fmt.Errorf("unknown physics scheme %q (none, shuffle, greedy, pairwise)", s)
+}
+
+func main() {
+	machName := flag.String("machine", "paragon", "machine model: paragon, t3d or sp2")
+	meshStr := flag.String("mesh", "4x4", "processor mesh PyxPx (latitude x longitude)")
+	filterStr := flag.String("filter", "fft-lb",
+		"filter: conv, conv-tree, fft, fft-lb, fft-rowwise, polar-diffusion, none")
+	schemeStr := flag.String("physics", "none", "physics load balancing: none, shuffle, greedy, pairwise")
+	rounds := flag.Int("rounds", 2, "pairwise balancing rounds per step")
+	layers := flag.Int("layers", 9, "vertical layers (paper: 9 or 15)")
+	steps := flag.Int("steps", 3, "measured time steps (after warmup)")
+	dt := flag.Float64("dt", 0, "time step in seconds (0 = CFL-derived)")
+	profile := flag.Bool("profile", false, "print per-rank utilization and a share-bar chart")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON timeline to this path")
+	saveState := flag.String("save-state", "", "write the final model state to this checkpoint file")
+	loadState := flag.String("load-state", "", "restore the initial state from this checkpoint file")
+	flag.Parse()
+
+	mach, err := machine.ByName(*machName)
+	if err != nil {
+		fatal(err)
+	}
+	py, px, err := parseMesh(*meshStr)
+	if err != nil {
+		fatal(err)
+	}
+	fv, err := parseFilter(*filterStr)
+	if err != nil {
+		fatal(err)
+	}
+	scheme, err := parseScheme(*schemeStr)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.Config{
+		Spec:          grid.TwoByTwoPointFive(*layers),
+		Machine:       mach,
+		MeshPy:        py,
+		MeshPx:        px,
+		Filter:        fv,
+		PhysicsScheme: scheme,
+		PhysicsRounds: *rounds,
+		Dt:            *dt,
+		EventLog:      *traceFile != "",
+		CaptureState:  *saveState != "",
+	}
+	if *loadState != "" {
+		f, err := os.Open(*loadState)
+		if err != nil {
+			fatal(err)
+		}
+		file, err := history.Read(f)
+		if err != nil {
+			fatal(fmt.Errorf("reading checkpoint: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		cfg.InitialState = file
+		fmt.Printf("restored checkpoint %s (step %d)\n", *loadState, file.Step)
+	}
+	rep, err := core.Run(cfg, *steps)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("AGCM 2x2.5x%d on %s, %dx%d mesh (%d nodes), filter=%s, physics=%s\n",
+		*layers, mach.Name, py, px, rep.Ranks, fv, scheme)
+	fmt.Printf("dt=%.0fs (%d steps/simulated day), measured %d steps\n\n",
+		86400/float64(rep.StepsPerDay), rep.StepsPerDay, rep.Steps)
+
+	tbl := &stats.Table{Header: []string{"Component", "s/simulated day", "share of total"}}
+	for _, c := range []struct {
+		name string
+		v    float64
+	}{
+		{"Spectral filtering", rep.FilterTime},
+		{"Finite differences", rep.FDTime},
+		{"Ghost exchange (incl. wait)", rep.CommTime},
+		{"Dynamics (critical path)", rep.Dynamics},
+		{"Physics", rep.PhysicsTime},
+		{"Total", rep.Total},
+	} {
+		tbl.AddRow(c.name, stats.Seconds(c.v), stats.Percent(c.v/rep.Total))
+	}
+	fmt.Print(tbl.Render())
+	fmt.Printf("\nPhysics load imbalance: %s   Filter load imbalance: %s\n",
+		stats.Percent(core.Imbalance(rep.PhysicsLoads)),
+		stats.Percent(core.Imbalance(rep.FilterLoads)))
+	fmt.Printf("Communication: %.0f messages/step, %.2f MB/step, max wait share %s\n",
+		rep.MessagesPerStep, rep.BytesPerStep/1e6, stats.Percent(rep.MaxWaitShare))
+	fmt.Printf("Stability: max |h| = %.0f m (resting depth %d m)\n",
+		rep.MaxAbsH, dynamics.MeanDepth)
+
+	if *saveState != "" {
+		f, err := os.Create(*saveState)
+		if err != nil {
+			fatal(err)
+		}
+		if err := history.Write(f, rep.FinalState, history.BigEndian); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote checkpoint to %s (step %d)\n", *saveState, rep.FinalState.Step)
+	}
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := trace.ExportChromeTrace(f, rep.Raw); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote Chrome trace timeline to %s (open in Perfetto or chrome://tracing)\n",
+			*traceFile)
+	}
+
+	if *profile {
+		fmt.Println("\nMachine-wide summary (whole run, including warmup):")
+		fmt.Print(trace.Summary(rep.Raw))
+		fmt.Println("\nPer-rank utilization (virtual seconds):")
+		fmt.Print(trace.UtilizationTable(rep.Raw, "physics", 12))
+		fmt.Println("\nUtilization shares (not chronological):")
+		fmt.Print(trace.Gantt(rep.Raw, 72))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agcm:", err)
+	os.Exit(2)
+}

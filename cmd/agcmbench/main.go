@@ -1,0 +1,68 @@
+// Command agcmbench regenerates the paper's tables and figures on the
+// simulated Paragon and T3D machines.
+//
+//	agcmbench -experiment all           # everything, in paper order
+//	agcmbench -experiment table8        # one table
+//	agcmbench -list                     # valid experiment names
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"agcm/internal/experiments"
+)
+
+func main() {
+	expName := flag.String("experiment", "all", "experiment id or 'all'")
+	steps := flag.Int("steps", 3, "measured time steps per run")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Parse()
+	if *format != "table" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q (table, csv)", *format))
+	}
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	opt := experiments.Options{MeasuredSteps: *steps}
+
+	var outs []*experiments.Output
+	if *expName == "all" {
+		all, err := experiments.All(opt)
+		if err != nil {
+			fatal(err)
+		}
+		outs = all
+	} else {
+		out, err := experiments.ByID(*expName, opt)
+		if err != nil {
+			fatal(err)
+		}
+		outs = []*experiments.Output{out}
+	}
+	for _, o := range outs {
+		for _, t := range o.Tables {
+			if *format == "csv" {
+				fmt.Printf("# %s\n%s", t.Title, t.CSV())
+			} else {
+				fmt.Print(t.Render())
+			}
+		}
+		if *format == "table" {
+			for _, n := range o.Notes {
+				fmt.Println("  //", n)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "agcmbench:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,98 @@
+// Command lbsim is a stand-alone load-balancing simulator in the spirit of
+// the paper's Section 3.4 methodology: feed it a load distribution (or let
+// it measure one from the simulated AGCM physics) and watch the three
+// schemes balance it.
+//
+//	lbsim -loads 65,24,38,15 -scheme pairwise -iters 2
+//	lbsim -mesh 8x8 -scheme pairwise -iters 2    # loads from simulated physics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"agcm/internal/core"
+	"agcm/internal/grid"
+	"agcm/internal/loadbalance"
+	"agcm/internal/machine"
+	"agcm/internal/physics"
+	"agcm/internal/stats"
+)
+
+func main() {
+	loadsStr := flag.String("loads", "", "comma-separated initial loads (e.g. the paper's 65,24,38,15)")
+	meshStr := flag.String("mesh", "", "measure loads from simulated physics on this PyxPx T3D mesh")
+	scheme := flag.String("scheme", "pairwise", "scheme: shuffle, greedy or pairwise")
+	iters := flag.Int("iters", 2, "pairwise iterations")
+	gran := flag.Float64("granularity", 1, "transfer granularity (0 = continuous)")
+	flag.Parse()
+
+	var loads []float64
+	switch {
+	case *loadsStr != "":
+		for _, s := range strings.Split(*loadsStr, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				fatal(fmt.Errorf("bad load %q: %w", s, err))
+			}
+			loads = append(loads, v)
+		}
+	case *meshStr != "":
+		var py, px int
+		if _, err := fmt.Sscanf(strings.ToLower(*meshStr), "%dx%d", &py, &px); err != nil {
+			fatal(fmt.Errorf("invalid mesh %q", *meshStr))
+		}
+		rep, err := core.Run(core.Config{
+			Spec:    grid.TwoByTwoPointFive(9),
+			Machine: machine.CrayT3D(),
+			MeshPy:  py, MeshPx: px,
+			Filter:        core.FilterFFTBalanced,
+			PhysicsScheme: physics.None,
+		}, 3)
+		if err != nil {
+			fatal(err)
+		}
+		loads = rep.PhysicsLoads
+		fmt.Printf("Measured physics loads (s/simulated day) on a %dx%d Cray T3D mesh\n\n", py, px)
+	default:
+		loads = []float64{65, 24, 38, 15} // the paper's Figure 5/6 example
+		fmt.Println("Using the paper's four-node example: 65, 24, 38, 15")
+	}
+
+	switch *scheme {
+	case "pairwise":
+		hist := loadbalance.Pairwise(loads, *gran, 0, *iters)
+		tbl := &stats.Table{Header: []string{"Iteration", "Max load", "Min load", "% imbalance", "Exchanges"}}
+		for _, h := range hist {
+			tbl.AddRow(fmt.Sprintf("%d", h.Iteration),
+				stats.Seconds(h.MaxLoad), stats.Seconds(h.MinLoad),
+				stats.Percent(h.Imbalance), fmt.Sprintf("%d", len(h.Moves)))
+		}
+		fmt.Print(tbl.Render())
+	case "greedy", "shuffle":
+		var moves []loadbalance.Move
+		if *scheme == "greedy" {
+			moves = loadbalance.SortedGreedy(loads, *gran)
+		} else {
+			moves = loadbalance.CyclicShuffle(loads)
+		}
+		after := loadbalance.Apply(loads, moves)
+		msgs, vol := loadbalance.PlanCost(moves)
+		fmt.Printf("before: imbalance %s\n", stats.Percent(loadbalance.Imbalance(loads)))
+		fmt.Printf("after:  imbalance %s  (%d messages, %.1f load units moved)\n",
+			stats.Percent(loadbalance.Imbalance(after)), msgs, vol)
+		for _, m := range moves {
+			fmt.Printf("  move %.1f from node %d to node %d\n", m.Amount, m.Src, m.Dst)
+		}
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lbsim:", err)
+	os.Exit(2)
+}

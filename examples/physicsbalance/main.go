@@ -1,0 +1,57 @@
+// Physics load balancing: run the AGCM physics on a simulated T3D mesh and
+// watch the three schemes of Section 3.4 balance the live day/night +
+// convection load — including the paper's own four-node worked example.
+//
+//	go run ./examples/physicsbalance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"agcm/internal/core"
+	"agcm/internal/grid"
+	"agcm/internal/loadbalance"
+	"agcm/internal/machine"
+	"agcm/internal/physics"
+	"agcm/internal/stats"
+)
+
+func main() {
+	// --- The paper's Figure 5/6 example, exactly. ---
+	fmt.Println("Paper's four-node example (loads 65, 24, 38, 15):")
+	paper := []float64{65, 24, 38, 15}
+	hist := loadbalance.Pairwise(paper, 1, 0, 2)
+	cur := paper
+	for _, h := range hist {
+		if h.Iteration > 0 {
+			cur = loadbalance.Apply(cur, h.Moves)
+		}
+		fmt.Printf("  round %d: loads %v, imbalance %s\n",
+			h.Iteration, cur, stats.Percent(h.Imbalance))
+	}
+	fmt.Println("  (paper Figure 6: 65,24,38,15 -> 40,31,31,40 -> 36,35,35,36)")
+
+	// --- Live physics loads on an 8x8 T3D. ---
+	fmt.Println("\nLive AGCM physics on a simulated 8x8 Cray T3D (2x2.5x9):")
+	tbl := &stats.Table{Header: []string{
+		"Scheme", "Physics s/day (max rank)", "Imbalance", "Whole code s/day"}}
+	for _, scheme := range []physics.Scheme{physics.None, physics.Shuffle, physics.Greedy, physics.Pairwise} {
+		rep, err := core.Run(core.Config{
+			Spec:    grid.TwoByTwoPointFive(9),
+			Machine: machine.CrayT3D(),
+			MeshPy:  8, MeshPx: 8,
+			Filter:        core.FilterFFTBalanced,
+			PhysicsScheme: scheme,
+			PhysicsRounds: 2,
+		}, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(scheme.String(), stats.Seconds(rep.PhysicsTime),
+			stats.Percent(core.Imbalance(rep.PhysicsLoads)), stats.Seconds(rep.Total))
+	}
+	fmt.Print(tbl.Render())
+	fmt.Println("\nScheme 3 (pairwise) removes most of the imbalance at O(P) messages —")
+	fmt.Println("the paper projects a 10-15% whole-code gain from a balanced physics.")
+}

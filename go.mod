@@ -1,0 +1,3 @@
+module agcm
+
+go 1.22

@@ -1,0 +1,132 @@
+package cachesim
+
+import "testing"
+
+func TestColdMissesThenHits(t *testing.T) {
+	c := New(1024, 32, 1)
+	if c.Access(0) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(31) {
+		t.Fatal("same-line access missed")
+	}
+	if c.Access(32) {
+		t.Fatal("next line hit cold")
+	}
+	if c.Misses() != 2 || c.Accesses() != 4 {
+		t.Fatalf("misses=%d accesses=%d", c.Misses(), c.Accesses())
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// 1024-byte direct-mapped cache with 32-byte lines has 32 sets;
+	// addresses 0 and 1024 collide.
+	c := New(1024, 32, 1)
+	c.Access(0)
+	c.Access(1024)
+	if c.Access(0) {
+		t.Fatal("conflicting line survived in direct-mapped cache")
+	}
+}
+
+func TestAssociativityResolvesConflict(t *testing.T) {
+	c := New(2048, 32, 2) // same 32 sets, but 2-way
+	c.Access(0)
+	c.Access(2048) // same set, other way
+	if !c.Access(0) {
+		t.Fatal("2-way cache evicted a line it had room for")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := New(2048, 32, 2)
+	c.Access(0)    // way A
+	c.Access(2048) // way B
+	c.Access(0)    // touch A: B is now LRU
+	c.Access(4096) // evicts B
+	if !c.Access(0) {
+		t.Fatal("LRU evicted the recently used line")
+	}
+	if c.Access(2048) {
+		t.Fatal("LRU kept the least recently used line")
+	}
+}
+
+func TestMissRateAndReset(t *testing.T) {
+	c := New(1024, 32, 1)
+	for i := int64(0); i < 8; i++ {
+		c.Access(i * 32)
+	}
+	for i := int64(0); i < 8; i++ {
+		c.Access(i * 32)
+	}
+	if got := c.MissRate(); got != 0.5 {
+		t.Fatalf("MissRate = %g, want 0.5", got)
+	}
+	c.Reset()
+	if c.Accesses() != 0 || c.Misses() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	if c.Access(0) {
+		t.Fatal("Reset did not clear contents")
+	}
+	if New(64, 32, 1).MissRate() != 0 {
+		t.Fatal("untouched cache MissRate not 0")
+	}
+}
+
+func TestAccessRange(t *testing.T) {
+	c := New(1024, 32, 1)
+	if got := c.AccessRange(0, 100); got != 4 { // lines 0..3
+		t.Fatalf("AccessRange misses = %d, want 4", got)
+	}
+	if got := c.AccessRange(0, 100); got != 0 {
+		t.Fatalf("warm AccessRange misses = %d, want 0", got)
+	}
+	// Bytes 30..33 span lines 0 and 1, both warm from above.
+	if got := c.AccessRange(30, 4); got != 0 {
+		t.Fatalf("AccessRange(30,4) misses = %d, want 0", got)
+	}
+}
+
+func TestStreamingLargeArrayMissesEveryLine(t *testing.T) {
+	c := New(8192, 32, 1)
+	// Stream 256 KB: every line cold or evicted before reuse.
+	n := 256 * 1024
+	misses := 0
+	for addr := int64(0); addr < int64(n); addr += 8 {
+		if !c.Access(addr) {
+			misses++
+		}
+	}
+	want := n / 32
+	if misses != want {
+		t.Fatalf("streaming misses = %d, want %d", misses, want)
+	}
+}
+
+func TestNewPanicsOnBadGeometry(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 32, 1) },
+		func() { New(1000, 32, 1) },
+		func() { New(1024, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLineBytes(t *testing.T) {
+	if New(1024, 64, 2).LineBytes() != 64 {
+		t.Fatal("LineBytes wrong")
+	}
+}

@@ -1,0 +1,428 @@
+// Package comm provides an MPI-flavoured message-passing layer on top of the
+// sim virtual machine: communicators with sub-groups, point-to-point
+// messaging, and the collective operations the parallel AGCM needs (barrier,
+// broadcast, reduce, allreduce, gather, scatter, all-to-all).
+//
+// The paper's filtering variants are distinguished by their communication
+// patterns — convolution over rings or binary trees versus a data transpose
+// (all-to-all) — so all of those patterns are first-class here and their
+// costs emerge from the underlying sim cost model.
+package comm
+
+import (
+	"fmt"
+
+	"agcm/internal/sim"
+)
+
+// bytesPerFloat is the wire size of one float64 element.
+const bytesPerFloat = 8
+
+// tagSpace is the number of user tags reserved per communicator context;
+// collectives use tags near the top of the space.
+const tagSpace = 1 << 16
+
+// Reserved collective tags within a context's tag space.
+const (
+	tagBarrier = tagSpace - 1 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScatter
+	tagAlltoall
+	tagShift
+	maxUserTag = tagSpace - 64
+)
+
+// Comm is a communicator: an ordered group of world ranks with a private tag
+// context, analogous to an MPI communicator.
+type Comm struct {
+	p     *sim.Proc
+	world []int // members' world ranks, in comm rank order
+	me    int   // this process's rank within the comm
+	ctx   int   // context id isolating this comm's traffic
+}
+
+// World returns the communicator containing every rank of the machine.
+func World(p *sim.Proc) *Comm {
+	members := make([]int, p.Ranks())
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{p: p, world: members, me: p.Rank(), ctx: 0}
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.me }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.world) }
+
+// Proc returns the underlying simulated processor.
+func (c *Comm) Proc() *sim.Proc { return c.p }
+
+// WorldRank translates a comm rank to the machine's world rank.
+func (c *Comm) WorldRank(rank int) int {
+	if rank < 0 || rank >= len(c.world) {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", rank, len(c.world)))
+	}
+	return c.world[rank]
+}
+
+func (c *Comm) tag(t int) int {
+	if t < 0 || t >= tagSpace {
+		panic(fmt.Sprintf("comm: tag %d out of range [0,%d)", t, tagSpace))
+	}
+	return c.ctx*tagSpace + t
+}
+
+// Split partitions the communicator like MPI_Comm_split: ranks passing the
+// same color form a new communicator, ordered by (key, old rank).  All ranks
+// must call Split with deterministic, globally consistent knowledge of every
+// member's color and key, supplied via the colors and keys slices indexed by
+// comm rank.  (The simulated code computes these locally from the mesh
+// geometry, so no communication is needed.)  newCtx must be the same on all
+// ranks and unique among live communicators derived from the same parent.
+func (c *Comm) Split(colors, keys []int, newCtx int) *Comm {
+	if len(colors) != len(c.world) || len(keys) != len(c.world) {
+		panic("comm: Split needs one color and key per rank")
+	}
+	myColor := colors[c.me]
+	// Collect members with my color, sorted by (key, rank) via stable
+	// selection — group sizes are small so O(n^2) is fine and allocation
+	// free of sort.Slice's comparator indirection.
+	var members []int
+	var memberKeys []int
+	for r, col := range colors {
+		if col == myColor {
+			members = append(members, c.world[r])
+			memberKeys = append(memberKeys, keys[r])
+		}
+	}
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && memberKeys[j] < memberKeys[j-1]; j-- {
+			memberKeys[j], memberKeys[j-1] = memberKeys[j-1], memberKeys[j]
+			members[j], members[j-1] = members[j-1], members[j]
+		}
+	}
+	me := -1
+	for i, w := range members {
+		if w == c.p.Rank() {
+			me = i
+			break
+		}
+	}
+	if me < 0 {
+		panic("comm: Split lost the calling rank")
+	}
+	// Distinct colors must map to distinct contexts; fold the color in.
+	return &Comm{p: c.p, world: members, me: me, ctx: newCtx + myColor + 1}
+}
+
+// Send transmits a copy-free reference to data to comm rank dst.
+// The caller must not mutate data afterwards; use SendCopy when the buffer
+// will be reused.
+func (c *Comm) Send(dst, tag int, data []float64) {
+	c.checkUserTag(tag)
+	c.p.Send(c.WorldRank(dst), c.tag(tag), data, len(data)*bytesPerFloat)
+}
+
+// SendCopy transmits a private copy of data to comm rank dst.
+func (c *Comm) SendCopy(dst, tag int, data []float64) {
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	c.Send(dst, tag, buf)
+}
+
+// Recv receives a []float64 from comm rank src.
+func (c *Comm) Recv(src, tag int) []float64 {
+	c.checkUserTag(tag)
+	return c.p.Recv(c.WorldRank(src), c.tag(tag)).([]float64)
+}
+
+// SendInts transmits an int slice (bookkeeping metadata, e.g. row plans).
+func (c *Comm) SendInts(dst, tag int, data []int) {
+	c.checkUserTag(tag)
+	c.p.Send(c.WorldRank(dst), c.tag(tag), data, len(data)*8)
+}
+
+// RecvInts receives an int slice from comm rank src.
+func (c *Comm) RecvInts(src, tag int) []int {
+	c.checkUserTag(tag)
+	return c.p.Recv(c.WorldRank(src), c.tag(tag)).([]int)
+}
+
+func (c *Comm) checkUserTag(tag int) {
+	if tag < 0 || tag >= maxUserTag {
+		panic(fmt.Sprintf("comm: user tag %d out of range [0,%d)", tag, maxUserTag))
+	}
+}
+
+// Sendrecv exchanges data with a partner rank in one logical step: it posts
+// the send before blocking on the receive, so symmetric pairwise exchanges
+// cannot deadlock.
+func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	c.Send(dst, sendTag, data)
+	return c.Recv(src, recvTag)
+}
+
+// Barrier blocks until every rank in the communicator has entered it, using
+// a dissemination pattern with ceil(log2 P) rounds.
+func (c *Comm) Barrier() {
+	n := len(c.world)
+	for dist := 1; dist < n; dist *= 2 {
+		dst := (c.me + dist) % n
+		src := (c.me - dist + n) % n
+		c.p.Send(c.WorldRank(dst), c.tag(tagBarrier), nil, 0)
+		c.p.Recv(c.WorldRank(src), c.tag(tagBarrier))
+	}
+}
+
+// Bcast distributes root's buffer to all ranks along a binomial tree and
+// returns each rank's copy (root returns data unchanged).
+func (c *Comm) Bcast(root int, data []float64) []float64 {
+	n := len(c.world)
+	if n == 1 {
+		return data
+	}
+	// Rotate so the root is virtual rank 0.
+	vrank := (c.me - root + n) % n
+	if vrank != 0 {
+		src := c.findBcastParent(vrank)
+		data = c.p.Recv(c.WorldRank((src+root)%n), c.tag(tagBcast)).([]float64)
+	}
+	// Forward to children: standard binomial tree on virtual ranks.
+	for dist := nextPow2(n); dist >= 1; dist /= 2 {
+		if vrank%(2*dist) == 0 && vrank+dist < n {
+			c.p.Send(c.WorldRank((vrank+dist+root)%n), c.tag(tagBcast), data, len(data)*bytesPerFloat)
+		}
+	}
+	return data
+}
+
+// findBcastParent returns the virtual rank that sends to vrank in the
+// binomial broadcast tree.
+func (c *Comm) findBcastParent(vrank int) int {
+	dist := 1
+	for vrank%(2*dist) == 0 {
+		dist *= 2
+	}
+	return vrank - dist
+}
+
+// nextPow2 returns the largest power of two strictly below 2n that is >= n/1;
+// i.e. the highest tree distance used for n ranks.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	return p / 2
+}
+
+// Op is a binary reduction operator over equal-length vectors.
+type Op func(dst, src []float64)
+
+// SumOp adds src into dst elementwise.
+func SumOp(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// MaxOp keeps the elementwise maximum in dst.
+func MaxOp(dst, src []float64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// MinOp keeps the elementwise minimum in dst.
+func MinOp(dst, src []float64) {
+	for i, v := range src {
+		if v < dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Reduce combines every rank's data with op along a binomial tree rooted at
+// root.  The root returns the combined vector; other ranks return nil.
+// Reduction arithmetic is charged to the virtual clock (one flop per
+// element per combine).
+func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	n := len(c.world)
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	vrank := (c.me - root + n) % n
+	for dist := 1; dist < n; dist *= 2 {
+		if vrank&dist != 0 {
+			// This node's subtree is combined; pass it up and exit.
+			dst := (vrank - dist + root + n) % n
+			c.p.Send(c.WorldRank(dst), c.tag(tagReduce), acc, len(acc)*bytesPerFloat)
+			return nil
+		}
+		if vrank+dist < n {
+			src := (vrank + dist + root) % n
+			other := c.p.Recv(c.WorldRank(src), c.tag(tagReduce)).([]float64)
+			op(acc, other)
+			c.p.Compute(float64(len(acc)))
+		}
+	}
+	return acc
+}
+
+// Allreduce combines every rank's data with op and returns the result on all
+// ranks (reduce to rank 0, then broadcast).
+func (c *Comm) Allreduce(data []float64, op Op) []float64 {
+	acc := c.Reduce(0, data, op)
+	if c.me != 0 {
+		acc = nil
+	}
+	return c.Bcast(0, acc)
+}
+
+// AllreduceScalar is a convenience wrapper for single-value reductions.
+func (c *Comm) AllreduceScalar(v float64, op Op) float64 {
+	return c.Allreduce([]float64{v}, op)[0]
+}
+
+// Gather collects equal-length contributions onto root, concatenated in comm
+// rank order.  Non-roots return nil.
+func (c *Comm) Gather(root int, data []float64) []float64 {
+	parts := c.Gatherv(root, data)
+	if parts == nil {
+		return nil
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]float64, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+// Gatherv collects variable-length contributions onto root, returned as one
+// slice per rank in comm rank order.  Non-roots return nil.
+func (c *Comm) Gatherv(root int, data []float64) [][]float64 {
+	if c.me != root {
+		c.Send(root, tagGatherUser, data)
+		return nil
+	}
+	parts := make([][]float64, len(c.world))
+	for r := range c.world {
+		if r == root {
+			parts[r] = data
+			continue
+		}
+		parts[r] = c.Recv(r, tagGatherUser)
+	}
+	return parts
+}
+
+// tagGatherUser is a user-range tag reserved by convention for gather/scatter
+// payloads (they go through Send/Recv, which enforce the user range).
+const tagGatherUser = maxUserTag - 1
+
+// Scatterv distributes parts[i] from root to comm rank i and returns each
+// rank's part.  Only root may pass non-nil parts.
+func (c *Comm) Scatterv(root int, parts [][]float64) []float64 {
+	if c.me == root {
+		if len(parts) != len(c.world) {
+			panic(fmt.Sprintf("comm: Scatterv needs %d parts, got %d", len(c.world), len(parts)))
+		}
+		for r := range c.world {
+			if r == root {
+				continue
+			}
+			c.Send(r, tagGatherUser, parts[r])
+		}
+		return parts[root]
+	}
+	return c.Recv(root, tagGatherUser)
+}
+
+// Alltoallv sends parts[i] to comm rank i and returns the slice received
+// from each rank, indexed by source rank.  This is the data-transpose
+// primitive used by the FFT filtering module.
+func (c *Comm) Alltoallv(parts [][]float64) [][]float64 {
+	n := len(c.world)
+	if len(parts) != n {
+		panic(fmt.Sprintf("comm: Alltoallv needs %d parts, got %d", n, len(parts)))
+	}
+	out := make([][]float64, n)
+	out[c.me] = parts[c.me]
+	// Post all sends first (eager), then drain receives: deadlock-free.
+	for off := 1; off < n; off++ {
+		dst := (c.me + off) % n
+		c.p.Send(c.WorldRank(dst), c.tag(tagAlltoall), parts[dst], len(parts[dst])*bytesPerFloat)
+	}
+	for off := 1; off < n; off++ {
+		src := (c.me - off + n) % n
+		out[src] = c.p.Recv(c.WorldRank(src), c.tag(tagAlltoall)).([]float64)
+	}
+	return out
+}
+
+// RingShift passes data to the next rank around the communicator ring
+// (rank+1 mod P) and returns the slice received from the previous rank.
+func (c *Comm) RingShift(data []float64) []float64 {
+	n := len(c.world)
+	next := (c.me + 1) % n
+	prev := (c.me - 1 + n) % n
+	c.p.Send(c.WorldRank(next), c.tag(tagShift), data, len(data)*bytesPerFloat)
+	return c.p.Recv(c.WorldRank(prev), c.tag(tagShift)).([]float64)
+}
+
+// Allgatherv gathers every rank's contribution on every rank (by rank order)
+// using a ring pipeline of P-1 steps, matching the original AGCM's ring
+// filtering data motion.
+func (c *Comm) Allgatherv(data []float64) [][]float64 {
+	n := len(c.world)
+	out := make([][]float64, n)
+	out[c.me] = data
+	cur := data
+	curSrc := c.me
+	for step := 1; step < n; step++ {
+		cur = c.RingShift(cur)
+		curSrc = (curSrc - 1 + n) % n
+		out[curSrc] = cur
+	}
+	return out
+}
+
+// AllgathervTree gathers every rank's contribution on every rank via a
+// binomial gather to rank 0 followed by a tree broadcast — the paper's
+// "binary tree" alternative to the ring for the convolution filter's data
+// motion: O(2P) messages moving O(N*P + N*logP) data.
+func (c *Comm) AllgathervTree(data []float64) [][]float64 {
+	parts := c.Gatherv(0, data)
+	var lengths, flat []float64
+	if c.me == 0 {
+		lengths = make([]float64, len(parts))
+		total := 0
+		for i, p := range parts {
+			lengths[i] = float64(len(p))
+			total += len(p)
+		}
+		flat = make([]float64, 0, total)
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+	}
+	lengths = c.Bcast(0, lengths)
+	flat = c.Bcast(0, flat)
+	out := make([][]float64, len(c.world))
+	off := 0
+	for i := range out {
+		n := int(lengths[i])
+		out[i] = flat[off : off+n]
+		off += n
+	}
+	return out
+}

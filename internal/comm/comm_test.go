@@ -1,0 +1,527 @@
+package comm
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"agcm/internal/sim"
+)
+
+type flatModel struct{}
+
+func (flatModel) FlopSeconds(n float64) float64         { return n * 1e-7 }
+func (flatModel) MemSeconds(n float64) float64          { return n * 1e-9 }
+func (flatModel) SendOverheadSeconds(bytes int) float64 { return 1e-5 }
+func (flatModel) RecvOverheadSeconds(bytes int) float64 { return 1e-5 }
+func (flatModel) NetworkSeconds(bytes int) float64      { return 1e-4 + float64(bytes)*1e-8 }
+
+// runWorld executes body on an n-rank machine and fails the test on error.
+func runWorld(t *testing.T, n int, body func(c *Comm) error) *sim.Result {
+	t.Helper()
+	m := sim.New(n, flatModel{})
+	res, err := m.Run(func(p *sim.Proc) error {
+		return body(World(p))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWorldRankSize(t *testing.T) {
+	runWorld(t, 5, func(c *Comm) error {
+		if c.Size() != 5 {
+			return fmt.Errorf("Size = %d", c.Size())
+		}
+		if c.Rank() != c.Proc().Rank() {
+			return fmt.Errorf("Rank %d != proc rank %d", c.Rank(), c.Proc().Rank())
+		}
+		return nil
+	})
+}
+
+func TestSendRecvRoundtrip(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{1, 2, 3})
+			got := c.Recv(1, 4)
+			if len(got) != 1 || got[0] != 9 {
+				return fmt.Errorf("got %v", got)
+			}
+		} else {
+			got := c.Recv(0, 3)
+			if len(got) != 3 || got[1] != 2 {
+				return fmt.Errorf("got %v", got)
+			}
+			c.Send(0, 4, []float64{9})
+		}
+		return nil
+	})
+}
+
+func TestSendCopyIsolatesBuffer(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []float64{1, 2, 3}
+			c.SendCopy(1, 0, buf)
+			buf[0] = 99 // mutate after send: receiver must not see it
+		} else {
+			got := c.Recv(0, 0)
+			if got[0] != 1 {
+				return fmt.Errorf("receiver saw mutation: %v", got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendRecvInts(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.SendInts(1, 1, []int{4, 5, 6})
+		} else {
+			got := c.RecvInts(0, 1)
+			if len(got) != 3 || got[2] != 6 {
+				return fmt.Errorf("got %v", got)
+			}
+		}
+		return nil
+	})
+}
+
+func TestSendrecvPairwiseNoDeadlock(t *testing.T) {
+	runWorld(t, 2, func(c *Comm) error {
+		partner := 1 - c.Rank()
+		got := c.Sendrecv(partner, 0, []float64{float64(c.Rank())}, partner, 0)
+		if got[0] != float64(partner) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+}
+
+func TestBarrierSynchronizesClocks(t *testing.T) {
+	res := runWorld(t, 7, func(c *Comm) error {
+		// Rank r computes r milliseconds of virtual work, then barriers.
+		c.Proc().Compute(float64(c.Rank()) * 1e4)
+		c.Barrier()
+		return nil
+	})
+	// After a barrier no clock may precede the slowest pre-barrier clock.
+	slowest := 6.0 * 1e4 * 1e-7
+	for r, clk := range res.Clocks {
+		if clk < slowest {
+			t.Errorf("rank %d clock %g below slowest pre-barrier time %g", r, clk, slowest)
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 13} {
+		for root := 0; root < n; root++ {
+			n, root := n, root
+			runWorld(t, n, func(c *Comm) error {
+				var data []float64
+				if c.Rank() == root {
+					data = []float64{3.5, -1, float64(root)}
+				}
+				got := c.Bcast(root, data)
+				if len(got) != 3 || got[0] != 3.5 || got[2] != float64(root) {
+					return fmt.Errorf("n=%d root=%d rank=%d got %v", n, root, c.Rank(), got)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestReduceSumAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 12} {
+		for root := 0; root < n; root += 3 {
+			n, root := n, root
+			runWorld(t, n, func(c *Comm) error {
+				data := []float64{float64(c.Rank()), 1}
+				got := c.Reduce(root, data, SumOp)
+				if c.Rank() != root {
+					if got != nil {
+						return fmt.Errorf("non-root got %v", got)
+					}
+					return nil
+				}
+				wantSum := float64(n*(n-1)) / 2
+				if got[0] != wantSum || got[1] != float64(n) {
+					return fmt.Errorf("n=%d root=%d reduce got %v, want [%g %d]", n, root, got, wantSum, n)
+				}
+				return nil
+			})
+		}
+	}
+}
+
+func TestAllreduceMaxMin(t *testing.T) {
+	runWorld(t, 6, func(c *Comm) error {
+		v := float64(c.Rank()*c.Rank()) - 3
+		if got := c.AllreduceScalar(v, MaxOp); got != 22 {
+			return fmt.Errorf("max got %g, want 22", got)
+		}
+		if got := c.AllreduceScalar(v, MinOp); got != -3 {
+			return fmt.Errorf("min got %g, want -3", got)
+		}
+		if got := c.AllreduceScalar(1, SumOp); got != 6 {
+			return fmt.Errorf("sum got %g, want 6", got)
+		}
+		return nil
+	})
+}
+
+func TestGatherAndGatherv(t *testing.T) {
+	runWorld(t, 4, func(c *Comm) error {
+		// Variable-length contributions: rank r sends r+1 values of r.
+		mine := make([]float64, c.Rank()+1)
+		for i := range mine {
+			mine[i] = float64(c.Rank())
+		}
+		parts := c.Gatherv(2, mine)
+		if c.Rank() != 2 {
+			if parts != nil {
+				return fmt.Errorf("non-root got parts")
+			}
+			return nil
+		}
+		for r, p := range parts {
+			if len(p) != r+1 {
+				return fmt.Errorf("part %d has len %d", r, len(p))
+			}
+			for _, v := range p {
+				if v != float64(r) {
+					return fmt.Errorf("part %d contains %g", r, v)
+				}
+			}
+		}
+		return nil
+	})
+	runWorld(t, 3, func(c *Comm) error {
+		flat := c.Gather(0, []float64{float64(c.Rank()), float64(c.Rank() * 10)})
+		if c.Rank() == 0 {
+			want := []float64{0, 0, 1, 10, 2, 20}
+			if len(flat) != len(want) {
+				return fmt.Errorf("gather len %d", len(flat))
+			}
+			for i := range want {
+				if flat[i] != want[i] {
+					return fmt.Errorf("gather %v, want %v", flat, want)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestScatterv(t *testing.T) {
+	runWorld(t, 4, func(c *Comm) error {
+		var parts [][]float64
+		if c.Rank() == 1 {
+			parts = [][]float64{{0}, {1, 1}, {2, 2, 2}, {3}}
+		}
+		got := c.Scatterv(1, parts)
+		if len(got) == 0 || got[0] != float64(c.Rank()) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		if c.Rank() == 2 && len(got) != 3 {
+			return fmt.Errorf("rank 2 got %v", got)
+		}
+		return nil
+	})
+}
+
+func TestAlltoallv(t *testing.T) {
+	runWorld(t, 5, func(c *Comm) error {
+		parts := make([][]float64, 5)
+		for dst := range parts {
+			parts[dst] = []float64{float64(c.Rank()*100 + dst)}
+		}
+		got := c.Alltoallv(parts)
+		for src, p := range got {
+			want := float64(src*100 + c.Rank())
+			if len(p) != 1 || p[0] != want {
+				return fmt.Errorf("rank %d from %d got %v, want %g", c.Rank(), src, p, want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestRingShiftAndAllgatherv(t *testing.T) {
+	runWorld(t, 4, func(c *Comm) error {
+		got := c.RingShift([]float64{float64(c.Rank())})
+		prev := (c.Rank() + 3) % 4
+		if got[0] != float64(prev) {
+			return fmt.Errorf("ring shift got %v, want %d", got, prev)
+		}
+		all := c.Allgatherv([]float64{float64(c.Rank() * 11)})
+		for r, p := range all {
+			if len(p) != 1 || p[0] != float64(r*11) {
+				return fmt.Errorf("allgather from %d got %v", r, p)
+			}
+		}
+		return nil
+	})
+}
+
+func TestAllgathervTreeMatchesRing(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		runWorld(t, n, func(c *Comm) error {
+			mine := make([]float64, c.Rank()+1) // variable lengths
+			for i := range mine {
+				mine[i] = float64(c.Rank()*10 + i)
+			}
+			ring := c.Allgatherv(mine)
+			tree := c.AllgathervTree(mine)
+			if len(ring) != len(tree) {
+				return fmt.Errorf("n=%d: lengths differ", n)
+			}
+			for r := range ring {
+				if len(ring[r]) != len(tree[r]) {
+					return fmt.Errorf("n=%d: rank %d part lengths differ", n, r)
+				}
+				for i := range ring[r] {
+					if ring[r][i] != tree[r][i] {
+						return fmt.Errorf("n=%d: rank %d value %d differs", n, r, i)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestAllgathervTreeCheaperThanRingAtScale(t *testing.T) {
+	// The paper's point about the binary-tree alternative: fewer message
+	// start-ups on wide meshes.
+	timeOf := func(fn func(c *Comm)) float64 {
+		m := sim.New(30, flatModel{})
+		res, err := m.Run(func(p *sim.Proc) error {
+			fn(World(p))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MaxClock()
+	}
+	data := make([]float64, 4) // latency-dominated regime
+	ring := timeOf(func(c *Comm) { c.Allgatherv(data) })
+	tree := timeOf(func(c *Comm) { c.AllgathervTree(data) })
+	if tree >= ring {
+		t.Fatalf("tree allgather (%g s) not cheaper than ring (%g s) on 30 ranks", tree, ring)
+	}
+}
+
+func TestSplitCommunicatorsIsolateTraffic(t *testing.T) {
+	// Messages sent within one split group must never be received by a
+	// same-rank member of another group (context isolation).
+	runWorld(t, 4, func(c *Comm) error {
+		colors := []int{0, 0, 1, 1}
+		keys := []int{0, 1, 0, 1}
+		sub := c.Split(colors, keys, 50)
+		partner := 1 - sub.Rank()
+		sent := float64(c.Rank() * 100)
+		got := sub.Sendrecv(partner, 9, []float64{sent}, partner, 9)
+		// My partner is within my color group.
+		wantFrom := map[int]int{0: 1, 1: 0, 2: 3, 3: 2}[c.Rank()]
+		if got[0] != float64(wantFrom*100) {
+			return fmt.Errorf("rank %d got %g, want from world rank %d", c.Rank(), got[0], wantFrom)
+		}
+		return nil
+	})
+}
+
+func TestSplitRowsAndColumns(t *testing.T) {
+	// 2x3 mesh: check row and column communicators see the right peers.
+	runWorld(t, 6, func(c *Comm) error {
+		cart := NewCart2D(c, 2, 3)
+		if cart.Row.Size() != 3 || cart.Col.Size() != 2 {
+			return fmt.Errorf("row size %d col size %d", cart.Row.Size(), cart.Col.Size())
+		}
+		if cart.Row.Rank() != cart.MyCol {
+			return fmt.Errorf("row rank %d, want col index %d", cart.Row.Rank(), cart.MyCol)
+		}
+		if cart.Col.Rank() != cart.MyRow {
+			return fmt.Errorf("col rank %d, want row index %d", cart.Col.Rank(), cart.MyRow)
+		}
+		// A row allreduce must sum only within the row.
+		sum := cart.Row.AllreduceScalar(float64(c.Rank()), SumOp)
+		wantRow := 0.0
+		for col := 0; col < 3; col++ {
+			wantRow += float64(cart.MyRow*3 + col)
+		}
+		if sum != wantRow {
+			return fmt.Errorf("row sum %g, want %g", sum, wantRow)
+		}
+		// A column allreduce must sum only within the column.
+		csum := cart.Col.AllreduceScalar(float64(c.Rank()), SumOp)
+		wantCol := float64(cart.MyCol) + float64(3+cart.MyCol)
+		if csum != wantCol {
+			return fmt.Errorf("col sum %g, want %g", csum, wantCol)
+		}
+		return nil
+	})
+}
+
+func TestCartNeighbours(t *testing.T) {
+	runWorld(t, 6, func(c *Comm) error {
+		cart := NewCart2D(c, 3, 2) // 3 rows x 2 cols
+		r, col := cart.MyRow, cart.MyCol
+		if r == 0 && cart.South() != -1 {
+			return fmt.Errorf("rank %d south = %d, want -1", c.Rank(), cart.South())
+		}
+		if r == 2 && cart.North() != -1 {
+			return fmt.Errorf("rank %d north = %d, want -1", c.Rank(), cart.North())
+		}
+		if r > 0 && cart.South() != (r-1)*2+col {
+			return fmt.Errorf("south wrong")
+		}
+		if cart.East() != r*2+(col+1)%2 {
+			return fmt.Errorf("east wrong")
+		}
+		if cart.West() != r*2+(col+1)%2 {
+			return fmt.Errorf("west wrong in 2-wide mesh (east==west)")
+		}
+		return nil
+	})
+}
+
+func TestCartBadMeshPanics(t *testing.T) {
+	m := sim.New(4, flatModel{})
+	_, err := m.Run(func(p *sim.Proc) error {
+		NewCart2D(World(p), 3, 2) // 6 != 4
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("mismatched mesh did not error")
+	}
+}
+
+func TestCollectiveTimingOrdering(t *testing.T) {
+	// A bigger message must take at least as long to broadcast.
+	bcastTime := func(elems int) float64 {
+		var res *sim.Result
+		res = runWorld(t, 8, func(c *Comm) error {
+			var data []float64
+			if c.Rank() == 0 {
+				data = make([]float64, elems)
+			}
+			c.Bcast(0, data)
+			return nil
+		})
+		return res.MaxClock()
+	}
+	small, large := bcastTime(10), bcastTime(100000)
+	if !(large > small) {
+		t.Fatalf("bcast of 100k elems (%g s) not slower than 10 elems (%g s)", large, small)
+	}
+}
+
+func TestReduceChargesComputeTime(t *testing.T) {
+	res := runWorld(t, 2, func(c *Comm) error {
+		c.Reduce(0, make([]float64, 1000), SumOp)
+		return nil
+	})
+	// Root combined one 1000-element vector: >= 1000 flops of virtual time.
+	if res.Clocks[0] < 1000*1e-7 {
+		t.Fatalf("root clock %g too small; reduce arithmetic not charged", res.Clocks[0])
+	}
+}
+
+func TestWorldRankOutOfRangePanics(t *testing.T) {
+	m := sim.New(2, flatModel{})
+	_, err := m.Run(func(p *sim.Proc) error {
+		World(p).WorldRank(7)
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("WorldRank(7) on size-2 comm did not error")
+	}
+}
+
+func TestMessageComplexityFormulas(t *testing.T) {
+	// The paper's Section 3 reasons about algorithms by their message
+	// counts; the simulator's counters must match the closed forms.
+	count := func(n int, body func(c *Comm)) int64 {
+		m := sim.New(n, flatModel{})
+		res, err := m.Run(func(p *sim.Proc) error {
+			body(World(p))
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalMessages()
+	}
+	const n = 8
+	data := make([]float64, 10)
+
+	// Ring allgather: every rank forwards P-1 times -> P*(P-1).
+	if got := count(n, func(c *Comm) { c.Allgatherv(data) }); got != n*(n-1) {
+		t.Errorf("ring allgather: %d messages, want %d", got, n*(n-1))
+	}
+	// Alltoallv: every rank sends to P-1 others.
+	if got := count(n, func(c *Comm) {
+		parts := make([][]float64, n)
+		for i := range parts {
+			parts[i] = data
+		}
+		c.Alltoallv(parts)
+	}); got != n*(n-1) {
+		t.Errorf("alltoallv: %d messages, want %d", got, n*(n-1))
+	}
+	// Binomial broadcast: P-1 messages total.
+	if got := count(n, func(c *Comm) {
+		var d []float64
+		if c.Rank() == 0 {
+			d = data
+		}
+		c.Bcast(0, d)
+	}); got != n-1 {
+		t.Errorf("bcast: %d messages, want %d", got, n-1)
+	}
+	// Binomial reduce: P-1 messages total.
+	if got := count(n, func(c *Comm) { c.Reduce(0, data, SumOp) }); got != n-1 {
+		t.Errorf("reduce: %d messages, want %d", got, n-1)
+	}
+	// Dissemination barrier: P * ceil(log2 P).
+	if got := count(n, func(c *Comm) { c.Barrier() }); got != n*3 {
+		t.Errorf("barrier: %d messages, want %d", got, n*3)
+	}
+	// Tree allgather = gather (P-1) + two broadcasts (2*(P-1)).
+	if got := count(n, func(c *Comm) { c.AllgathervTree(data) }); got != 3*(n-1) {
+		t.Errorf("tree allgather: %d messages, want %d", got, 3*(n-1))
+	}
+}
+
+func TestAllreduceVectorAssociativityInvariant(t *testing.T) {
+	// Allreduce result must be identical on all ranks and independent of
+	// which rank contributed what order — verify against a serial sum.
+	const n = 9
+	want := make([]float64, 4)
+	for r := 0; r < n; r++ {
+		for i := range want {
+			want[i] += float64(r*i) + 0.25
+		}
+	}
+	runWorld(t, n, func(c *Comm) error {
+		mine := make([]float64, 4)
+		for i := range mine {
+			mine[i] = float64(c.Rank()*i) + 0.25
+		}
+		got := c.Allreduce(mine, SumOp)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return fmt.Errorf("rank %d element %d: got %g want %g", c.Rank(), i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+}

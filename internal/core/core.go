@@ -1,0 +1,460 @@
+// Package core assembles the full parallel AGCM: the C-grid dynamical core,
+// the polar spectral filter (in any of the paper's variants), the column
+// physics with optional load balancing, and the virtual-time machine — and
+// reports per-component timings in the paper's unit, seconds per simulated
+// day.  This is the package the command-line tools, the examples and the
+// benchmark harness drive.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"agcm/internal/comm"
+	"agcm/internal/dynamics"
+	"agcm/internal/filter"
+	"agcm/internal/grid"
+	"agcm/internal/history"
+	"agcm/internal/machine"
+	"agcm/internal/physics"
+	"agcm/internal/sim"
+)
+
+// FilterVariant selects the spectral-filtering implementation.
+type FilterVariant int
+
+const (
+	// FilterConvolutionRing is the original code's physical-space
+	// convolution with ring data motion.
+	FilterConvolutionRing FilterVariant = iota
+	// FilterConvolutionTree is the original convolution with binary-tree
+	// data motion.
+	FilterConvolutionTree
+	// FilterFFT is the transpose-based FFT filter without load balancing.
+	FilterFFT
+	// FilterFFTBalanced is the paper's load-balanced FFT filter.
+	FilterFFTBalanced
+	// FilterNone disables filtering (numerically unstable at full time
+	// steps; useful only for demonstrations with reduced dt).
+	FilterNone
+	// FilterPolarDiffusion replaces spectral filtering with implicit
+	// zonal diffusion solved by the distributed periodic tridiagonal
+	// solver — the Section 5 "implicit time-differencing" alternative.
+	FilterPolarDiffusion
+	// FilterFFTRowwise is Section 3.2's approach 1 — the parallel 1-D
+	// FFT within mesh rows (allgather + redundant transforms) — that the
+	// paper analysed and rejected in favour of the transpose.
+	FilterFFTRowwise
+)
+
+// String returns the variant name used in reports.
+func (v FilterVariant) String() string {
+	switch v {
+	case FilterConvolutionRing:
+		return "convolution-ring"
+	case FilterConvolutionTree:
+		return "convolution-tree"
+	case FilterFFT:
+		return "fft"
+	case FilterFFTBalanced:
+		return "fft-load-balanced"
+	case FilterNone:
+		return "none"
+	case FilterPolarDiffusion:
+		return "polar-implicit-diffusion"
+	case FilterFFTRowwise:
+		return "fft-rowwise"
+	}
+	return fmt.Sprintf("FilterVariant(%d)", int(v))
+}
+
+// Config describes one AGCM run.
+type Config struct {
+	// Spec is the global grid; the paper's standard is
+	// grid.TwoByTwoPointFive(9) or (15).
+	Spec grid.Spec
+	// Machine is the simulated computer (machine.Paragon() etc.).
+	Machine *machine.Model
+	// MeshPy x MeshPx is the processor mesh (latitude x longitude).
+	MeshPy, MeshPx int
+	// Filter selects the spectral-filter variant.
+	Filter FilterVariant
+	// PhysicsScheme and PhysicsRounds configure physics load balancing.
+	PhysicsScheme physics.Scheme
+	PhysicsRounds int
+	// Dt is the time step in seconds; 0 derives it from the CFL limit at
+	// the strong filter's critical latitude (the filter's whole point).
+	Dt float64
+	// InitWind is the initial jet speed in m/s (default 20).
+	InitWind float64
+	// VerticalDiffusion is the dimensionless implicit vertical mixing
+	// number per step (0 = off); solved per column with the Thomas
+	// algorithm.
+	VerticalDiffusion float64
+	// WarmupSteps are integrated but excluded from timing (leapfrog
+	// startup, physics load-estimate priming).  Default 2.
+	WarmupSteps int
+	// DegradeRank, if >= 0, slows that one rank's processor by
+	// DegradeFactor (> 1) — the hardware-heterogeneity scenario for the
+	// load-balancing experiments.
+	DegradeRank   int
+	DegradeFactor float64
+	// EventLog records a per-rank event timeline on Report.Raw for the
+	// trace package's Chrome-trace export.
+	EventLog bool
+	// InitialState, if non-nil, restores a checkpoint (written by a
+	// previous run's CaptureState) instead of the analytic initial
+	// condition.  The grid must match.
+	InitialState *history.File
+	// CaptureState gathers the full final model state into
+	// Report.FinalState for checkpointing.
+	CaptureState bool
+}
+
+// withDefaults fills derived and defaulted fields.
+func (c Config) withDefaults() (Config, error) {
+	if err := c.Spec.Validate(); err != nil {
+		return c, err
+	}
+	if c.Machine == nil {
+		return c, fmt.Errorf("core: nil machine model")
+	}
+	if c.MeshPy < 1 || c.MeshPx < 1 {
+		return c, fmt.Errorf("core: invalid mesh %dx%d", c.MeshPy, c.MeshPx)
+	}
+	if c.Dt == 0 {
+		c.Dt = 0.8 * dynamics.CFLTimeStep(c.Spec, filter.Strong.CritLat())
+	}
+	if c.Dt <= 0 {
+		return c, fmt.Errorf("core: invalid dt %g", c.Dt)
+	}
+	if c.InitWind == 0 {
+		c.InitWind = 20
+	}
+	if c.WarmupSteps == 0 {
+		c.WarmupSteps = 2
+	}
+	if c.PhysicsRounds == 0 {
+		c.PhysicsRounds = 2
+	}
+	if c.DegradeFactor == 0 {
+		c.DegradeRank = -1
+	}
+	if c.DegradeRank >= c.MeshPy*c.MeshPx {
+		return c, fmt.Errorf("core: degraded rank %d outside mesh", c.DegradeRank)
+	}
+	if c.DegradeRank >= 0 && c.DegradeFactor <= 1 {
+		return c, fmt.Errorf("core: degrade factor must exceed 1, got %g", c.DegradeFactor)
+	}
+	return c, nil
+}
+
+// StepsPerDay returns the number of time steps in one simulated day for the
+// configured (or derived) dt.
+func (c Config) StepsPerDay() int {
+	cfg, err := c.withDefaults()
+	if err != nil {
+		return 0
+	}
+	return int(math.Ceil(86400 / cfg.Dt))
+}
+
+// Report holds the timing results of a run, in the paper's unit of
+// seconds per simulated day of the slowest rank (the critical path).
+type Report struct {
+	Config      Config
+	Ranks       int
+	Steps       int // measured steps (after warmup)
+	StepsPerDay int
+
+	// Component times in seconds/simulated-day: FilterTime + FDTime +
+	// CommTime make up Dynamics; Total adds Physics and any slack.
+	FilterTime  float64
+	FDTime      float64
+	CommTime    float64
+	Dynamics    float64
+	PhysicsTime float64
+	Total       float64
+
+	// PhysicsLoads is the per-rank physics time (seconds/day), the input
+	// to the paper's Tables 1-3 style imbalance analysis.
+	PhysicsLoads []float64
+	// FilterLoads is the per-rank filter time (seconds/day).
+	FilterLoads []float64
+
+	// MessagesPerStep and BytesPerStep are the machine-wide
+	// point-to-point traffic per time step — the quantities the paper's
+	// Section 3 complexity analysis counts for each algorithm.
+	MessagesPerStep float64
+	BytesPerStep    float64
+	// MaxWaitShare is the largest per-rank fraction of measured time
+	// spent blocked on unarrived messages (latency + imbalance idling).
+	MaxWaitShare float64
+
+	// MaxAbsH is the final max |h| as a stability diagnostic.
+	MaxAbsH float64
+
+	// FinalState is the gathered model state when Config.CaptureState
+	// was set (nil otherwise); feed it back via Config.InitialState to
+	// continue the run.
+	FinalState *history.File
+
+	// Raw is the underlying simulation result (clocks, accounts,
+	// traffic), for the trace package's utilization views.
+	Raw *sim.Result
+}
+
+// Imbalance returns (max-avg)/avg of a load vector (paper's definition).
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	sum, max := 0.0, 0.0
+	for _, v := range loads {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	avg := sum / float64(len(loads))
+	if avg == 0 {
+		return 0
+	}
+	return (max - avg) / avg
+}
+
+// timing categories
+var categories = []string{"filter", "dynamics-fd", "dynamics-comm", "physics"}
+
+// Run integrates the model for measuredSteps time steps (after warmup) on
+// the simulated machine and returns per-component timings extrapolated to
+// seconds per simulated day.
+func Run(cfg Config, measuredSteps int) (*Report, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if measuredSteps < 1 {
+		return nil, fmt.Errorf("core: need at least one measured step")
+	}
+	d, err := grid.NewDecomp(cfg.Spec, cfg.MeshPy, cfg.MeshPx)
+	if err != nil {
+		return nil, err
+	}
+	ranks := cfg.MeshPy * cfg.MeshPx
+	stepsPerDay := int(math.Ceil(86400 / cfg.Dt))
+
+	type snapshot struct {
+		clock    float64
+		accounts map[string]float64
+		messages int64
+		bytes    int64
+		wait     float64
+	}
+	warm := make([]snapshot, ranks)
+	maxAbsH := make([]float64, ranks)
+	var finalState *history.File
+	// All ranks must agree on whether to run the LoadState collective;
+	// only rank 0 holds the file itself.
+	restoreAny := cfg.InitialState != nil
+
+	var m *sim.Machine
+	if cfg.DegradeRank >= 0 {
+		models := make([]sim.CostModel, ranks)
+		for i := range models {
+			models[i] = cfg.Machine
+		}
+		models[cfg.DegradeRank] = machine.Degraded(cfg.Machine, cfg.DegradeFactor)
+		m = sim.NewHeterogeneous(models)
+	} else {
+		m = sim.New(ranks, cfg.Machine)
+	}
+	if cfg.EventLog {
+		m.EnableEventLog()
+	}
+	res, err := m.Run(func(p *sim.Proc) error {
+		world := comm.World(p)
+		cart := comm.NewCart2D(world, cfg.MeshPy, cfg.MeshPx)
+		local := grid.NewLocal(d, cart.MyRow, cart.MyCol)
+
+		state := dynamics.NewState(local)
+		dynamics.InitSolidBody(state, cfg.InitWind, 4)
+		if cfg.InitialState != nil || restoreAny {
+			var file *history.File
+			if world.Rank() == 0 {
+				file = cfg.InitialState
+			}
+			if err := dynamics.LoadState(world, cart, file, state); err != nil {
+				return err
+			}
+		}
+
+		var flt filter.Parallel
+		switch cfg.Filter {
+		case FilterConvolutionRing:
+			flt = filter.NewConvolution(cart, cfg.Spec, local, filter.Ring)
+		case FilterConvolutionTree:
+			flt = filter.NewConvolution(cart, cfg.Spec, local, filter.Tree)
+		case FilterFFT:
+			flt = filter.NewFFT(cart, cfg.Spec, local, false)
+		case FilterFFTBalanced:
+			flt = filter.NewFFT(cart, cfg.Spec, local, true)
+		case FilterNone:
+			flt = nil
+		case FilterPolarDiffusion:
+			flt = filter.NewPolarDiffusion(cart, cfg.Spec, local)
+		case FilterFFTRowwise:
+			flt = filter.NewRowwiseFFT(cart, cfg.Spec, local)
+		default:
+			return fmt.Errorf("core: unknown filter variant %d", cfg.Filter)
+		}
+		dyn := dynamics.New(cart, cfg.Spec, local, cfg.Dt, flt)
+		if cfg.VerticalDiffusion > 0 {
+			dyn.SetVerticalDiffusion(cfg.VerticalDiffusion)
+		}
+		phys := physics.NewRunner(world, cart, local,
+			physics.NewModel(cfg.Spec, stepsPerDay), cfg.PhysicsScheme, cfg.PhysicsRounds)
+
+		step := func(n int) {
+			dyn.Step(state)
+			p.Timed("physics", func() { phys.Step(state.T, state.Q, n) })
+		}
+		for n := 0; n < cfg.WarmupSteps; n++ {
+			step(n)
+		}
+		snap := snapshot{
+			clock:    p.Clock(),
+			accounts: make(map[string]float64),
+			messages: p.MessagesSent(),
+			bytes:    p.BytesSent(),
+			wait:     p.WaitSeconds(),
+		}
+		for _, cat := range categories {
+			snap.accounts[cat] = p.Accounted(cat)
+		}
+		warm[world.Rank()] = snap
+		for n := 0; n < measuredSteps; n++ {
+			step(cfg.WarmupSteps + n)
+		}
+		maxAbsH[world.Rank()] = state.H.MaxAbs()
+		if cfg.CaptureState {
+			if f := dynamics.SaveState(world, cart, state); world.Rank() == 0 {
+				finalState = f
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Scale measured virtual times to seconds/simulated-day.
+	scale := float64(stepsPerDay) / float64(measuredSteps)
+	perRank := func(cat string) []float64 {
+		out := make([]float64, ranks)
+		for r := 0; r < ranks; r++ {
+			out[r] = (res.Accounts[cat][r] - warm[r].accounts[cat]) * scale
+		}
+		return out
+	}
+	maxOf := func(v []float64) float64 {
+		max := 0.0
+		for _, x := range v {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}
+	filterLoads := perRank("filter")
+	fd := perRank("dynamics-fd")
+	cm := perRank("dynamics-comm")
+	physLoads := perRank("physics")
+
+	// Per-rank Dynamics time, then critical path across ranks.
+	dynLoads := make([]float64, ranks)
+	totalLoads := make([]float64, ranks)
+	for r := 0; r < ranks; r++ {
+		dynLoads[r] = filterLoads[r] + fd[r] + cm[r]
+		totalLoads[r] = (res.Clocks[r] - warm[r].clock) * scale
+	}
+
+	var msgs, bts float64
+	maxWaitShare := 0.0
+	for r := 0; r < ranks; r++ {
+		msgs += float64(res.MessagesSent[r] - warm[r].messages)
+		bts += float64(res.BytesSent[r] - warm[r].bytes)
+		if span := res.Clocks[r] - warm[r].clock; span > 0 {
+			if share := (res.WaitSeconds[r] - warm[r].wait) / span; share > maxWaitShare {
+				maxWaitShare = share
+			}
+		}
+	}
+
+	rep := &Report{
+		Config:          cfg,
+		Raw:             res,
+		Ranks:           ranks,
+		Steps:           measuredSteps,
+		StepsPerDay:     stepsPerDay,
+		MessagesPerStep: msgs / float64(measuredSteps),
+		BytesPerStep:    bts / float64(measuredSteps),
+		MaxWaitShare:    maxWaitShare,
+		FilterTime:      maxOf(filterLoads),
+		FDTime:          maxOf(fd),
+		CommTime:        maxOf(cm),
+		Dynamics:        maxOf(dynLoads),
+		PhysicsTime:     maxOf(physLoads),
+		Total:           maxOf(totalLoads),
+		PhysicsLoads:    physLoads,
+		FilterLoads:     filterLoads,
+		MaxAbsH:         maxOf(maxAbsH),
+		FinalState:      finalState,
+	}
+	return rep, nil
+}
+
+// Snapshot runs the model for `steps` steps on a 1x1 mesh and returns a
+// history file of the prognostic fields — a convenience for examples and
+// round-trip tests of the history IO.
+func Snapshot(cfg Config, steps int) (*history.File, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	cfg.MeshPy, cfg.MeshPx = 1, 1
+	d, err := grid.NewDecomp(cfg.Spec, 1, 1)
+	if err != nil {
+		return nil, err
+	}
+	stepsPerDay := int(math.Ceil(86400 / cfg.Dt))
+	file := &history.File{Spec: cfg.Spec, Step: steps}
+	m := sim.New(1, cfg.Machine)
+	if _, err := m.Run(func(p *sim.Proc) error {
+		world := comm.World(p)
+		cart := comm.NewCart2D(world, 1, 1)
+		local := grid.NewLocal(d, 0, 0)
+		state := dynamics.NewState(local)
+		dynamics.InitSolidBody(state, cfg.InitWind, 4)
+		flt := filter.NewFFT(cart, cfg.Spec, local, true)
+		dyn := dynamics.New(cart, cfg.Spec, local, cfg.Dt, flt)
+		phys := physics.NewRunner(world, cart, local,
+			physics.NewModel(cfg.Spec, stepsPerDay), physics.None, 1)
+		for n := 0; n < steps; n++ {
+			dyn.Step(state)
+			phys.Step(state.T, state.Q, n)
+		}
+		for _, v := range []struct {
+			name string
+			f    *grid.Field
+		}{{"u", state.U}, {"v", state.V}, {"h", state.H}, {"T", state.T}, {"q", state.Q}} {
+			if err := file.AddVariable(v.name, grid.Gather(world, cart, v.f)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return file, nil
+}

@@ -1,0 +1,127 @@
+// Package diag computes global diagnostics of the model state in parallel:
+// conserved integrals (mass, energy), extrema, and zonal means — the
+// quantities an atmospheric scientist watches to judge a simulation's
+// health, and the quantities the repository's long-run tests assert on.
+package diag
+
+import (
+	"math"
+
+	"agcm/internal/comm"
+	"agcm/internal/dynamics"
+	"agcm/internal/grid"
+)
+
+// Global holds machine-wide integrals of the model state, identical on
+// every rank after Compute.
+type Global struct {
+	// Mass is the area-weighted integral of the layer thickness.
+	Mass float64
+	// KineticEnergy is the integral of 0.5*h*(u^2+v^2).
+	KineticEnergy float64
+	// PotentialEnergy is the integral of 0.5*g*h^2.
+	PotentialEnergy float64
+	// MeanT and MeanQ are area-weighted tracer means.
+	MeanT, MeanQ float64
+	// MaxWind is the largest |u| or |v| anywhere.
+	MaxWind float64
+	// MaxH and MinH bound the thickness field.
+	MaxH, MinH float64
+}
+
+// TotalEnergy returns kinetic plus potential energy.
+func (g Global) TotalEnergy() float64 { return g.KineticEnergy + g.PotentialEnergy }
+
+// Compute evaluates the global diagnostics for the state.  Collective: all
+// ranks call it and receive the same result.
+func Compute(world *comm.Comm, local grid.Local, s *dynamics.State) Global {
+	spec := local.Decomp.Spec
+	var mass, ke, pe, tsum, qsum, wsum float64
+	maxWind, maxH := 0.0, math.Inf(-1)
+	minH := math.Inf(1)
+	for j := 0; j < local.Nlat(); j++ {
+		w := spec.CosLatCenter(local.GlobalLat(j))
+		for i := 0; i < local.Nlon(); i++ {
+			for k := 0; k < local.Nlayers(); k++ {
+				u := s.U.At(j, i, k)
+				v := s.V.At(j, i, k)
+				h := s.H.At(j, i, k)
+				mass += w * h
+				ke += w * 0.5 * h * (u*u + v*v)
+				pe += w * 0.5 * grid.Gravity * h * h
+				tsum += w * s.T.At(j, i, k)
+				qsum += w * s.Q.At(j, i, k)
+				wsum += w
+				if a := math.Abs(u); a > maxWind {
+					maxWind = a
+				}
+				if a := math.Abs(v); a > maxWind {
+					maxWind = a
+				}
+				if h > maxH {
+					maxH = h
+				}
+				if h < minH {
+					minH = h
+				}
+			}
+		}
+	}
+	sums := world.Allreduce([]float64{mass, ke, pe, tsum, qsum, wsum}, comm.SumOp)
+	maxes := world.Allreduce([]float64{maxWind, maxH, -minH}, comm.MaxOp)
+	return Global{
+		Mass:            sums[0],
+		KineticEnergy:   sums[1],
+		PotentialEnergy: sums[2],
+		MeanT:           sums[3] / sums[5],
+		MeanQ:           sums[4] / sums[5],
+		MaxWind:         maxes[0],
+		MaxH:            maxes[1],
+		MinH:            -maxes[2],
+	}
+}
+
+// ZonalMean returns, on world rank 0, the zonal-and-vertical mean of field
+// f for every global latitude row ([Nlat] values); other ranks return nil.
+// Collective.
+func ZonalMean(world *comm.Comm, cart *comm.Cart2D, f *grid.Field) []float64 {
+	l := f.Local()
+	spec := l.Decomp.Spec
+	// Partial sums per local latitude row.
+	partial := make([]float64, l.Nlat())
+	for j := 0; j < l.Nlat(); j++ {
+		var sum float64
+		for i := 0; i < l.Nlon(); i++ {
+			for k := 0; k < l.Nlayers(); k++ {
+				sum += f.At(j, i, k)
+			}
+		}
+		partial[j] = sum
+	}
+	// Sum across the mesh row (full circles), then gather rows by column.
+	rowSums := cart.Row.Allreduce(partial, comm.SumOp)
+	var mine []float64
+	if cart.Row.Rank() == 0 {
+		mine = rowSums
+	} else {
+		mine = nil // only column 0 contributes upward
+	}
+	// Gather the latitude strips onto world rank 0 in mesh-row order.
+	parts := world.Gatherv(0, mine)
+	if parts == nil {
+		return nil
+	}
+	out := make([]float64, spec.Nlat)
+	den := float64(spec.Nlon * spec.Nlayers)
+	for r, part := range parts {
+		if len(part) == 0 {
+			continue
+		}
+		row := r / cart.Px
+		lo, _ := l.Decomp.LatRange(row)
+		for jj, v := range part {
+			out[lo+jj] = v / den
+		}
+	}
+	return out
+}

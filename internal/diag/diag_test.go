@@ -1,0 +1,118 @@
+package diag
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"agcm/internal/comm"
+	"agcm/internal/dynamics"
+	"agcm/internal/filter"
+	"agcm/internal/grid"
+	"agcm/internal/machine"
+	"agcm/internal/sim"
+)
+
+var testSpec = grid.Spec{Nlon: 36, Nlat: 24, Nlayers: 2}
+
+// runDiag integrates steps and returns the diagnostics history from rank 0
+// plus the final zonal mean of u.
+func runDiag(t *testing.T, py, px, steps int) ([]Global, []float64) {
+	t.Helper()
+	d, err := grid.NewDecomp(testSpec, py, px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 0.5 * dynamics.CFLTimeStep(testSpec, filter.Strong.CritLat())
+	var hist []Global
+	var zm []float64
+	m := sim.New(py*px, machine.CrayT3D())
+	_, err = m.Run(func(p *sim.Proc) error {
+		world := comm.World(p)
+		cart := comm.NewCart2D(world, py, px)
+		l := grid.NewLocal(d, cart.MyRow, cart.MyCol)
+		s := dynamics.NewState(l)
+		dynamics.InitSolidBody(s, 20, 4)
+		dy := dynamics.New(cart, testSpec, l, dt, filter.NewFFT(cart, testSpec, l, true))
+		for n := 0; n < steps; n++ {
+			g := Compute(world, l, s)
+			if world.Rank() == 0 {
+				hist = append(hist, g)
+			}
+			dy.Step(s)
+		}
+		z := ZonalMean(world, cart, s.U)
+		if world.Rank() == 0 {
+			zm = z
+		} else if z != nil {
+			return fmt.Errorf("non-root got zonal mean")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hist, zm
+}
+
+func TestDiagnosticsPhysical(t *testing.T) {
+	hist, zm := runDiag(t, 2, 2, 10)
+	if len(hist) != 10 {
+		t.Fatalf("history %d entries", len(hist))
+	}
+	g0 := hist[0]
+	if g0.Mass <= 0 || g0.KineticEnergy <= 0 || g0.PotentialEnergy <= 0 {
+		t.Fatalf("non-positive integrals: %+v", g0)
+	}
+	if g0.MeanT < 200 || g0.MeanT > 320 {
+		t.Fatalf("MeanT = %g K", g0.MeanT)
+	}
+	if g0.MinH < 1000 || g0.MaxH > 20000 {
+		t.Fatalf("thickness bounds [%g, %g]", g0.MinH, g0.MaxH)
+	}
+	if g0.MaxWind < 15 || g0.MaxWind > 50 {
+		t.Fatalf("MaxWind = %g for a 20 m/s jet", g0.MaxWind)
+	}
+	// Conservation over the short run: mass tight, energy within a
+	// fraction of a percent (the filter dissipates a little).
+	last := hist[len(hist)-1]
+	if rel := math.Abs(last.Mass-g0.Mass) / g0.Mass; rel > 1e-6 {
+		t.Errorf("mass drifted by %g", rel)
+	}
+	if rel := math.Abs(last.TotalEnergy()-g0.TotalEnergy()) / g0.TotalEnergy(); rel > 0.01 {
+		t.Errorf("energy drifted by %g", rel)
+	}
+	// Zonal mean of u: westerly jet peaked off the poles, ~cos(lat).
+	if len(zm) != testSpec.Nlat {
+		t.Fatalf("zonal mean has %d rows", len(zm))
+	}
+	eq := zm[testSpec.Nlat/2]
+	pole := zm[0]
+	if eq < pole {
+		t.Errorf("zonal-mean u at equator (%g) below polar value (%g)", eq, pole)
+	}
+	if eq < 10 || eq > 30 {
+		t.Errorf("equatorial zonal-mean u = %g for a 20 m/s jet", eq)
+	}
+}
+
+func TestDiagnosticsDecompositionInvariant(t *testing.T) {
+	h1, z1 := runDiag(t, 1, 1, 3)
+	h2, z2 := runDiag(t, 3, 2, 3)
+	for i := range h1 {
+		if math.Abs(h1[i].Mass-h2[i].Mass) > 1e-6*h1[i].Mass {
+			t.Fatalf("step %d: mass differs across meshes", i)
+		}
+		if math.Abs(h1[i].KineticEnergy-h2[i].KineticEnergy) > 1e-6*h1[i].KineticEnergy {
+			t.Fatalf("step %d: KE differs across meshes", i)
+		}
+		if h1[i].MaxWind != h2[i].MaxWind {
+			t.Fatalf("step %d: MaxWind differs (max is order-independent)", i)
+		}
+	}
+	for j := range z1 {
+		if math.Abs(z1[j]-z2[j]) > 1e-9 {
+			t.Fatalf("zonal mean differs at row %d: %g vs %g", j, z1[j], z2[j])
+		}
+	}
+}

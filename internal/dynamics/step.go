@@ -1,0 +1,263 @@
+package dynamics
+
+import (
+	"agcm/internal/filter"
+	"agcm/internal/grid"
+)
+
+// Step advances the state one time step: spectral filtering of the
+// prognostic fields (as in the UCLA code, before the finite-difference
+// procedures), ghost exchange, tendency evaluation, leapfrog update with a
+// Robert-Asselin filter, and polar boundary enforcement.
+//
+// Virtual time is charged in two categories on the rank's clock accounts:
+// the caller wraps Step in its own Timed sections; Step itself charges the
+// calibrated finite-difference flop count and lets the comm layer charge
+// message costs.
+func (d *Dynamics) Step(s *State) {
+	p := d.cart.World.Proc()
+
+	// Spectral filtering of the fields that feed the finite differences.
+	if d.filter != nil {
+		if d.vars == nil {
+			d.vars = []filter.Variable{
+				{Name: "u", Kind: filter.Strong, Field: s.U},
+				{Name: "v", Kind: filter.Strong, Field: s.V},
+				{Name: "h", Kind: filter.Strong, Field: s.H},
+			}
+		}
+		// Synchronize before the filter so that skew left over from the
+		// previous step's physics is accounted as synchronization wait,
+		// not as filtering cost.
+		p.Timed("sync", func() { d.cart.World.Barrier() })
+		p.Timed("filter", func() { d.filter.Apply(d.vars) })
+	}
+
+	p.Timed("dynamics-comm", func() {
+		// T and Q ride along: the full model advects its tracers, so
+		// their ghost points are part of the per-step exchange volume.
+		grid.ExchangeHalos(d.cart, s.U, s.V, s.H, s.T, s.Q)
+		d.applyPolarBC(s)
+	})
+
+	p.Timed("dynamics-fd", func() { d.horizontalSmoothing(s) })
+
+	p.Timed("dynamics-comm", func() {
+		// The smoothing moved the interior; refresh the ghost points it
+		// invalidated so the tendency stencils see one consistent state
+		// on every decomposition.
+		grid.ExchangeHalos(d.cart, s.U, s.V, s.H)
+		d.applyPolarBC(s)
+	})
+
+	p.Timed("dynamics-fd", func() {
+		d.computeTendencies(s)
+		d.advance(s)
+		d.verticalDiffusion(s)
+		// Charge the calibrated cost of the full primitive-equation
+		// finite-difference suite.
+		pts := float64(d.local.Points())
+		p.ComputeMem(FlopsPerPoint*pts, bytesPerPoint*pts)
+	})
+	s.Steps++
+}
+
+// DiffusionKappa is the dimensionless strength of the weak horizontal
+// del-2 smoothing applied each step to control the nonlinear aliasing
+// instability of centred advection (the production model's Arakawa schemes
+// conserve energy by construction; this compact core damps instead, as
+// simpler GCM cores conventionally do).  The two-grid-interval wave loses
+// about 4*kappa per step — far too little to substitute for the polar
+// filter, whose required damping near the poles exceeds 95% per step.
+const DiffusionKappa = 0.02
+
+// horizontalSmoothing applies one forward-Euler step of scale-selective
+// horizontal diffusion to the prognostic fields, using the just-exchanged
+// halos.  The meridional term is in flux form with cos(lat) face weights,
+// so the height field's mass integral is conserved exactly (pole faces
+// carry zero weight).
+func (d *Dynamics) horizontalSmoothing(s *State) {
+	l := d.local
+	nlat, nlon, nl := l.Nlat(), l.Nlon(), l.Nlayers()
+	dlam := d.spec.DLon()
+	dphi := d.spec.DLat()
+	for fi, f := range []*grid.Field{s.U, s.V, s.H} {
+		scratch := []*grid.Field{d.tend.du, d.tend.dv, d.tend.dh}[fi]
+		isV := fi == 1
+		for j := 0; j < nlat; j++ {
+			cosC := d.cosC[j+1]
+			cosN := d.cosN[j+1]
+			cosS := d.cosN[j]
+			if isV && d.local.GlobalLat(j) == d.spec.Nlat-1 {
+				// The pole face: v stays exactly zero.
+				for i := 0; i < nlon; i++ {
+					for k := 0; k < nl; k++ {
+						scratch.Set(j, i, k, 0)
+					}
+				}
+				continue
+			}
+			// The meridional diffusivity lives on the faces —
+			// (dx_face/dy)^2, shared by the two adjacent rows — so
+			// the flux form telescopes and mass is conserved
+			// exactly; it vanishes toward the poles with dx, while
+			// the zonal two-grid damping is kappa everywhere.
+			ratioN := (cosN * dlam / dphi) * (cosN * dlam / dphi)
+			ratioS := (cosS * dlam / dphi) * (cosS * dlam / dphi)
+			for i := 0; i < nlon; i++ {
+				for k := 0; k < nl; k++ {
+					q := f.At(j, i, k)
+					zon := f.At(j, i+1, k) - 2*q + f.At(j, i-1, k)
+					mer := (ratioN*cosN*(f.At(j+1, i, k)-q) -
+						ratioS*cosS*(q-f.At(j-1, i, k))) / cosC
+					scratch.Set(j, i, k, DiffusionKappa*(zon+mer))
+				}
+			}
+		}
+		for j := 0; j < nlat; j++ {
+			for i := 0; i < nlon; i++ {
+				for k := 0; k < nl; k++ {
+					f.Add(j, i, k, scratch.At(j, i, k))
+				}
+			}
+		}
+	}
+}
+
+// applyPolarBC fills the pole-side halo rows: zero-gradient for u and h,
+// and zero meridional velocity at (and beyond) the poles.
+func (d *Dynamics) applyPolarBC(s *State) {
+	l := d.local
+	nl := l.Nlayers()
+	if l.Lat0 == 0 { // my subdomain touches the south pole
+		for i := -1; i <= l.Nlon(); i++ {
+			for k := 0; k < nl; k++ {
+				s.U.Set(-1, i, k, s.U.At(0, i, k))
+				s.H.Set(-1, i, k, s.H.At(0, i, k))
+				s.V.Set(-1, i, k, 0)
+			}
+		}
+	}
+	if l.Lat1 == d.spec.Nlat { // touches the north pole
+		jn := l.Nlat()
+		for i := -1; i <= l.Nlon(); i++ {
+			for k := 0; k < nl; k++ {
+				s.U.Set(jn, i, k, s.U.At(jn-1, i, k))
+				s.H.Set(jn, i, k, s.H.At(jn-1, i, k))
+				s.V.Set(jn, i, k, 0)
+				// The northernmost interior v row is the pole face.
+				s.V.Set(jn-1, i, k, 0)
+			}
+		}
+	}
+}
+
+// computeTendencies evaluates the C-grid shallow-water tendencies du, dv,
+// dh on the interior using 5-point stencils over the exchanged halos.
+func (d *Dynamics) computeTendencies(s *State) {
+	l := d.local
+	spec := d.spec
+	a := grid.EarthRadius
+	g := grid.Gravity
+	dlam := spec.DLon()
+	dphi := spec.DLat()
+	nlat, nlon, nl := l.Nlat(), l.Nlon(), l.Nlayers()
+
+	for j := 0; j < nlat; j++ {
+		cosC := d.cosC[j+1]
+		cosN := d.cosN[j+1]
+		cosS := d.cosN[j] // southern edge of row j = northern edge of row j-1
+		fC := d.fC[j+1]
+		fN := d.fN[j+1]
+		rdx := 1 / (a * cosC * dlam) // 1/dx at centres
+		rdy := 1 / (a * dphi)
+		northPole := l.GlobalLat(j) == spec.Nlat-1
+		for i := 0; i < nlon; i++ {
+			for k := 0; k < nl; k++ {
+				u := s.U.At(j, i, k)
+				v := s.V.At(j, i, k)
+				h := s.H.At(j, i, k)
+
+				// --- u momentum at the east face of (j,i) ---
+				vbar := 0.25 * (s.V.At(j, i, k) + s.V.At(j, i+1, k) +
+					s.V.At(j-1, i, k) + s.V.At(j-1, i+1, k))
+				dudx := (s.U.At(j, i+1, k) - s.U.At(j, i-1, k)) * 0.5 * rdx
+				dudy := (s.U.At(j+1, i, k) - s.U.At(j-1, i, k)) * 0.5 * rdy
+				dhdx := (s.H.At(j, i+1, k) - h) * rdx
+				d.tend.du.Set(j, i, k, fC*vbar-g*dhdx-u*dudx-vbar*dudy)
+
+				// --- v momentum at the north face of (j,i) ---
+				if northPole {
+					d.tend.dv.Set(j, i, k, 0) // pole face: v stays 0
+				} else {
+					ubar := 0.25 * (s.U.At(j, i, k) + s.U.At(j, i-1, k) +
+						s.U.At(j+1, i, k) + s.U.At(j+1, i-1, k))
+					rdxN := 1 / (a*cosN*dlam + 1e-30)
+					dvdx := (s.V.At(j, i+1, k) - s.V.At(j, i-1, k)) * 0.5 * rdxN
+					dvdy := (s.V.At(j+1, i, k) - s.V.At(j-1, i, k)) * 0.5 * rdy
+					dhdy := (s.H.At(j+1, i, k) - h) * rdy
+					d.tend.dv.Set(j, i, k, -fN*ubar-g*dhdy-ubar*dvdx-v*dvdy)
+				}
+
+				// --- continuity at the centre of (j,i), flux form ---
+				// Zonal mass fluxes through the east and west faces.
+				fe := 0.5 * (h + s.H.At(j, i+1, k)) * u
+				fw := 0.5 * (s.H.At(j, i-1, k) + h) * s.U.At(j, i-1, k)
+				// Meridional fluxes through the north and south faces,
+				// weighted by cos(lat) at the face.
+				fn := 0.5 * (h + s.H.At(j+1, i, k)) * cosN * v
+				fs := 0.5 * (s.H.At(j-1, i, k) + h) * cosS * s.V.At(j-1, i, k)
+				d.tend.dh.Set(j, i, k, -(fe-fw)*rdx-(fn-fs)*rdy/cosC)
+			}
+		}
+	}
+}
+
+// advance applies the leapfrog update with a Robert-Asselin filter, or
+// forward Euler on the first step.
+func (d *Dynamics) advance(s *State) {
+	l := d.local
+	nlat, nlon, nl := l.Nlat(), l.Nlon(), l.Nlayers()
+	dt := d.dt
+	first := s.Steps == 0
+
+	update := func(cur, prev, tend *grid.Field) {
+		for j := 0; j < nlat; j++ {
+			for i := 0; i < nlon; i++ {
+				for k := 0; k < nl; k++ {
+					c := cur.At(j, i, k)
+					var next float64
+					if first {
+						next = c + dt*tend.At(j, i, k)
+					} else {
+						next = prev.At(j, i, k) + 2*dt*tend.At(j, i, k)
+					}
+					// Robert-Asselin filter on the centre level.
+					filtered := c + RobertAlpha*(prev.At(j, i, k)-2*c+next)
+					prev.Set(j, i, k, filtered)
+					cur.Set(j, i, k, next)
+				}
+			}
+		}
+	}
+	update(s.U, s.PrevU, d.tend.du)
+	update(s.V, s.PrevV, d.tend.dv)
+	update(s.H, s.PrevH, d.tend.dh)
+}
+
+// TotalMass returns this rank's contribution to the global mass integral
+// sum(h * cos(lat)) over the interior — conserved by the flux-form
+// continuity equation up to round-off.
+func (d *Dynamics) TotalMass(s *State) float64 {
+	l := d.local
+	sum := 0.0
+	for j := 0; j < l.Nlat(); j++ {
+		w := d.cosC[j+1]
+		for i := 0; i < l.Nlon(); i++ {
+			for k := 0; k < l.Nlayers(); k++ {
+				sum += s.H.At(j, i, k) * w
+			}
+		}
+	}
+	return sum
+}

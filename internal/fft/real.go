@@ -1,0 +1,108 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// RealPlan transforms real sequences of even length n through a complex
+// plan of length n/2 (the standard packing trick), producing the
+// half-complex spectrum X[0..n/2].  Latitude circles are real, so the
+// filtering inner loop uses this plan at roughly half the cost of the
+// complex route.
+type RealPlan struct {
+	n    int
+	half *Plan
+	// Unpack twiddles e^{-2*pi*i*s/n} for s = 0..n/2.
+	twRe, twIm []float64
+	// Scratch for the packed signal.
+	zRe, zIm []float64
+}
+
+// NewRealPlan creates a real-input plan for even length n >= 2.
+func NewRealPlan(n int) *RealPlan {
+	if n < 2 || n%2 != 0 {
+		panic(fmt.Sprintf("fft: real plan needs even n >= 2, got %d", n))
+	}
+	m := n / 2
+	p := &RealPlan{
+		n:    n,
+		half: NewPlan(m),
+		twRe: make([]float64, m+1),
+		twIm: make([]float64, m+1),
+		zRe:  make([]float64, m),
+		zIm:  make([]float64, m),
+	}
+	for s := 0; s <= m; s++ {
+		ang := -2 * math.Pi * float64(s) / float64(n)
+		p.twRe[s] = math.Cos(ang)
+		p.twIm[s] = math.Sin(ang)
+	}
+	return p
+}
+
+// N returns the real transform length.
+func (p *RealPlan) N() int { return p.n }
+
+// Forward computes the half-complex spectrum of the real sequence x:
+// re[s] + i*im[s] = sum_k x[k] exp(-2*pi*i*k*s/n) for s = 0..n/2.
+// re and im must have length n/2+1; im[0] and im[n/2] come out zero.
+func (p *RealPlan) Forward(x []float64, re, im []float64) {
+	m := p.n / 2
+	if len(x) != p.n || len(re) != m+1 || len(im) != m+1 {
+		panic("fft: real Forward length mismatch")
+	}
+	// Pack even/odd samples into a complex signal.
+	for k := 0; k < m; k++ {
+		p.zRe[k] = x[2*k]
+		p.zIm[k] = x[2*k+1]
+	}
+	p.half.Forward(p.zRe, p.zIm)
+	// Unpack: with E, O the DFTs of the even and odd subsequences,
+	// Z[s] = E[s] + i O[s]; X[s] = E[s] + w^s O[s].
+	for s := 0; s <= m; s++ {
+		sm := (m - s) % m
+		zr, zi := p.zRe[s%m], p.zIm[s%m]
+		zcr, zci := p.zRe[sm], -p.zIm[sm]
+		er := 0.5 * (zr + zcr)
+		ei := 0.5 * (zi + zci)
+		or := 0.5 * (zi - zci)  // O = (Z - conj(Zm))/(2i):
+		oi := -0.5 * (zr - zcr) // real and imaginary parts
+		wr, wi := p.twRe[s], p.twIm[s]
+		re[s] = er + wr*or - wi*oi
+		im[s] = ei + wr*oi + wi*or
+	}
+	im[0] = 0
+	im[m] = 0
+}
+
+// Inverse reconstructs the real sequence from its half-complex spectrum,
+// with the usual 1/n normalization so Inverse(Forward(x)) == x.
+func (p *RealPlan) Inverse(re, im []float64, x []float64) {
+	m := p.n / 2
+	if len(x) != p.n || len(re) != m+1 || len(im) != m+1 {
+		panic("fft: real Inverse length mismatch")
+	}
+	// Repack: Z[s] = E[s] + i O[s] with E, O recovered from X via
+	// E[s] = (X[s] + conj(X[m-s]))/2, w^s O[s] = (X[s] - conj(X[m-s]))/2.
+	for s := 0; s < m; s++ {
+		sm := m - s
+		xr, xi := re[s], im[s]
+		ycr, yci := re[sm], -im[sm]
+		er := 0.5 * (xr + ycr)
+		ei := 0.5 * (xi + yci)
+		dr := 0.5 * (xr - ycr)
+		di := 0.5 * (xi - yci)
+		// O[s] = conj(w^s) * d.
+		wr, wi := p.twRe[s], -p.twIm[s]
+		or := wr*dr - wi*di
+		oi := wr*di + wi*dr
+		p.zRe[s] = er - oi
+		p.zIm[s] = ei + or
+	}
+	p.half.Inverse(p.zRe, p.zIm)
+	for k := 0; k < m; k++ {
+		x[2*k] = p.zRe[k]
+		x[2*k+1] = p.zIm[k]
+	}
+}

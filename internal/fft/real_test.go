@@ -1,0 +1,97 @@
+package fft
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRealForwardMatchesComplex(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 10, 36, 90, 144} {
+		x, _ := randSignal(n, int64(n))
+		// Complex reference.
+		cre := append([]float64(nil), x...)
+		cim := make([]float64, n)
+		NewPlan(n).Forward(cre, cim)
+		// Real route.
+		m := n / 2
+		re := make([]float64, m+1)
+		im := make([]float64, m+1)
+		NewRealPlan(n).Forward(x, re, im)
+		for s := 0; s <= m; s++ {
+			if math.Abs(re[s]-cre[s]) > 1e-9 || math.Abs(im[s]-cim[s]) > 1e-9 {
+				t.Fatalf("n=%d s=%d: real route (%g,%g) vs complex (%g,%g)",
+					n, s, re[s], im[s], cre[s], cim[s])
+			}
+		}
+	}
+}
+
+func TestRealRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := (int(nRaw)%100 + 1) * 2
+		x, _ := randSignal(n, seed)
+		orig := append([]float64(nil), x...)
+		p := NewRealPlan(n)
+		m := n / 2
+		re := make([]float64, m+1)
+		im := make([]float64, m+1)
+		p.Forward(x, re, im)
+		p.Inverse(re, im, x)
+		for i := range x {
+			if math.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRealPlanEdgeBinsAreReal(t *testing.T) {
+	n := 144
+	x, _ := randSignal(n, 7)
+	re := make([]float64, n/2+1)
+	im := make([]float64, n/2+1)
+	NewRealPlan(n).Forward(x, re, im)
+	if im[0] != 0 || im[n/2] != 0 {
+		t.Fatalf("DC/Nyquist bins not real: %g, %g", im[0], im[n/2])
+	}
+}
+
+func TestNewRealPlanRejectsOddLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 7} {
+		n := n
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewRealPlan(%d) did not panic", n)
+				}
+			}()
+			NewRealPlan(n)
+		}()
+	}
+}
+
+func TestRealPlanLengthChecks(t *testing.T) {
+	p := NewRealPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on wrong buffer lengths")
+		}
+	}()
+	p.Forward(make([]float64, 8), make([]float64, 4), make([]float64, 5))
+}
+
+func BenchmarkRealFFT144(b *testing.B) {
+	p := NewRealPlan(144)
+	x, _ := randSignal(144, 1)
+	re := make([]float64, 73)
+	im := make([]float64, 73)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x, re, im)
+	}
+}

@@ -1,0 +1,272 @@
+// Package filter implements the UCLA AGCM's polar spectral filtering — the
+// component the paper identifies as the scalability bottleneck of the
+// original parallel code — in all the variants the paper compares:
+//
+//   - the original convolution-form filter evaluated in physical space,
+//     with ring or binary-tree data motion (Section 2, Wehner et al.);
+//   - the FFT filter after a latitudinal data transpose (Section 3.2);
+//   - the load-balanced FFT filter, which first redistributes the rows to
+//     be filtered evenly over the processor mesh (Section 3.3, Figs 2-3).
+//
+// The filter damps fast-moving inertia-gravity waves near the poles so that
+// a uniform time step satisfying the CFL condition at mid-latitudes remains
+// stable where the zonal grid distance shrinks: each latitude circle is
+// Fourier transformed, wavenumber s is scaled by a prescribed damping
+// S(s, lat) <= 1, and the circle is transformed back.  Strong filtering
+// covers roughly half of all latitudes (poleward of 45 degrees); weak
+// filtering covers roughly one third (poleward of 60 degrees).
+package filter
+
+import (
+	"fmt"
+	"math"
+
+	"agcm/internal/fft"
+	"agcm/internal/grid"
+)
+
+// Kind selects the filter strength applied to a variable.
+type Kind int
+
+const (
+	// Strong filtering is applied from the poles to 45 degrees.
+	Strong Kind = iota
+	// Weak filtering is applied from the poles to 60 degrees.
+	Weak
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Strong:
+		return "strong"
+	case Weak:
+		return "weak"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// CritLat returns the filter's critical latitude in radians: filtering is
+// applied poleward of this latitude, and the damping is calibrated so that
+// waves at the critical latitude pass unchanged.
+func (k Kind) CritLat() float64 {
+	switch k {
+	case Strong:
+		return 45 * math.Pi / 180
+	case Weak:
+		return 60 * math.Pi / 180
+	}
+	panic(fmt.Sprintf("filter: invalid kind %d", int(k)))
+}
+
+// Damping returns the filter response S(s, lat) for zonal wavenumber index
+// s on a latitude circle of nlon points at the given latitude:
+//
+//	S(s, lat) = min(1, [cos(lat) / (cos(critLat) * sin(pi*s/nlon))]^2)
+//
+// the Arakawa-Lamb idea: damp each wavenumber just enough that its
+// effective phase speed satisfies the CFL condition of the critical
+// latitude.  On the staggered C-grid the discrete gravity-wave frequency
+// goes like sin(pi*s/N) (the half-angle of the unstaggered factor), so the
+// shortest waves are the fastest and take the hardest damping.  The square
+// gives the margin a leapfrog scheme needs: the unstable mode grows like
+// 2*C per step while the bracket only shrinks like 1/C, so first-power
+// damping is marginal and second-power damping is decisive.  S is
+// symmetric in s <-> nlon-s (conjugate wavenumbers), so filtering a real
+// row yields a real row, and S(0) = 1 (the zonal mean is never damped).
+func Damping(nlon, s int, lat, critLat float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	den := math.Cos(critLat) * math.Sin(math.Pi*float64(s)/float64(nlon))
+	if den <= 0 {
+		return 1
+	}
+	d := math.Abs(math.Cos(lat)) / den
+	if d >= 1 {
+		return 1
+	}
+	return d * d
+}
+
+// DampingRow returns the full per-wavenumber damping vector for one
+// latitude circle.
+func DampingRow(nlon int, lat, critLat float64) []float64 {
+	row := make([]float64, nlon)
+	for s := range row {
+		row[s] = Damping(nlon, s, lat, critLat)
+	}
+	return row
+}
+
+// IsFiltered reports whether global latitude row j requires filtering of
+// the given kind.
+func IsFiltered(spec grid.Spec, k Kind, j int) bool {
+	return math.Abs(spec.LatCenter(j)) >= k.CritLat()
+}
+
+// Rows returns the global latitude rows (ascending) that require filtering
+// of the given kind — about half of all rows for Strong, a third for Weak.
+func Rows(spec grid.Spec, k Kind) []int {
+	var rows []int
+	for j := 0; j < spec.Nlat; j++ {
+		if IsFiltered(spec, k, j) {
+			rows = append(rows, j)
+		}
+	}
+	return rows
+}
+
+// Coefficients returns the physical-space convolution kernel equivalent to
+// the damping vector: c[d] = (1/N) sum_s S(s) exp(2*pi*i*d*s/N), which is
+// real because S is symmetric.  The original AGCM evaluated the filter in
+// this form at O(N^2) per row.
+func Coefficients(damp []float64) []float64 {
+	n := len(damp)
+	re := append([]float64(nil), damp...)
+	im := make([]float64, n)
+	fft.NewPlan(n).Inverse(re, im)
+	return re
+}
+
+// ApplyRowFFT filters one full latitude circle in place through the
+// spectral route: forward FFT, damp, inverse FFT.  plan must have length
+// len(row) == len(damp).
+func ApplyRowFFT(plan *fft.Plan, damp, row []float64) {
+	n := len(row)
+	if plan.N() != n || len(damp) != n {
+		panic("filter: ApplyRowFFT length mismatch")
+	}
+	im := make([]float64, n)
+	plan.Forward(row, im)
+	for s := 0; s < n; s++ {
+		row[s] *= damp[s]
+		im[s] *= damp[s]
+	}
+	plan.Inverse(row, im)
+}
+
+// rowFilter owns the per-rank scratch for filtering real latitude circles
+// through the half-complex route — the production inner loop, about twice
+// as fast natively as the complex path.  Odd lengths (never produced by
+// the standard grids) fall back to the complex plan.
+type rowFilter struct {
+	n      int
+	plan   *fft.RealPlan
+	re, im []float64
+	odd    *fft.Plan
+}
+
+func newRowFilter(n int) *rowFilter {
+	if n%2 != 0 {
+		return &rowFilter{n: n, odd: fft.NewPlan(n)}
+	}
+	return &rowFilter{
+		n:    n,
+		plan: fft.NewRealPlan(n),
+		re:   make([]float64, n/2+1),
+		im:   make([]float64, n/2+1),
+	}
+}
+
+// apply filters one real row in place; damp has length n and is symmetric,
+// so only its first half is consulted on the half-complex route.
+func (rf *rowFilter) apply(damp, row []float64) {
+	if len(row) != rf.n || len(damp) != rf.n {
+		panic("filter: rowFilter length mismatch")
+	}
+	if rf.odd != nil {
+		ApplyRowFFT(rf.odd, damp, row)
+		return
+	}
+	rf.plan.Forward(row, rf.re, rf.im)
+	for s := 0; s <= rf.n/2; s++ {
+		rf.re[s] *= damp[s]
+		rf.im[s] *= damp[s]
+	}
+	rf.plan.Inverse(rf.re, rf.im, row)
+}
+
+// ApplyRowConvolution filters the points dst[i0:i0+len(dst)] of one full
+// latitude circle `row` through the physical-space route:
+// f'(i) = sum_n c[n] f((i-n) mod N) — the original code's O(N) per point.
+func ApplyRowConvolution(coeffs, row, dst []float64, i0 int) {
+	n := len(row)
+	if len(coeffs) != n {
+		panic("filter: ApplyRowConvolution length mismatch")
+	}
+	for t := range dst {
+		i := i0 + t
+		var sum float64
+		for d := 0; d < n; d++ {
+			k := i - d
+			if k < 0 {
+				k += n
+			}
+			sum += coeffs[d] * row[k]
+		}
+		dst[t] = sum
+	}
+}
+
+// Variable binds a field to the filter strength it receives.  In the AGCM,
+// the velocity components get strong filtering while thermodynamic
+// variables get weak filtering.
+type Variable struct {
+	Name  string
+	Kind  Kind
+	Field *grid.Field
+}
+
+// Sequential applies the filter to every variable on a single-subdomain
+// (1x1 decomposition) field set; it is the correctness oracle for the
+// parallel variants.
+func Sequential(spec grid.Spec, vars []Variable) {
+	rf := newRowFilter(spec.Nlon)
+	row := make([]float64, spec.Nlon)
+	for _, v := range vars {
+		l := v.Field.Local()
+		if l.Nlat() != spec.Nlat || l.Nlon() != spec.Nlon {
+			panic("filter: Sequential requires an undecomposed field")
+		}
+		for _, j := range Rows(spec, v.Kind) {
+			damp := DampingRow(spec.Nlon, spec.LatCenter(j), v.Kind.CritLat())
+			for k := 0; k < spec.Nlayers; k++ {
+				v.Field.RowSlice(j, k, row)
+				rf.apply(damp, row)
+				v.Field.SetRowSlice(j, k, row)
+			}
+		}
+	}
+}
+
+// line identifies one unit of filtering work: a full latitude circle of one
+// variable at one layer.
+type line struct {
+	v, j, k int // variable index, global latitude row, layer
+}
+
+// buildLines enumerates every line to be filtered, in the canonical order
+// (variable, row, layer).  Every rank derives the identical list locally.
+func buildLines(spec grid.Spec, vars []Variable) []line {
+	var lines []line
+	for vi, v := range vars {
+		for _, j := range Rows(spec, v.Kind) {
+			for k := 0; k < spec.Nlayers; k++ {
+				lines = append(lines, line{v: vi, j: j, k: k})
+			}
+		}
+	}
+	return lines
+}
+
+// LineCount returns the number of (variable, row, layer) lines filtered per
+// step for the given spec and variable kinds — the workload size that the
+// load-balancing distributes.
+func LineCount(spec grid.Spec, kinds []Kind) int {
+	n := 0
+	for _, k := range kinds {
+		n += len(Rows(spec, k)) * spec.Nlayers
+	}
+	return n
+}

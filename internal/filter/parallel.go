@@ -1,0 +1,379 @@
+package filter
+
+import (
+	"fmt"
+
+	"agcm/internal/comm"
+	"agcm/internal/fft"
+	"agcm/internal/grid"
+	"agcm/internal/loadbalance"
+)
+
+// Tags for the filter's column-direction traffic (user tag range).
+const (
+	tagBalance = 11 + iota
+	tagBalanceBack
+)
+
+// Topology selects the data motion of the convolution filter's row
+// gathering, matching the two implementations in the original parallel AGCM.
+type Topology int
+
+const (
+	// Ring circulates segments around the processor ring in the
+	// longitudinal direction: P*logP-ish message behaviour, N*P volume.
+	Ring Topology = iota
+	// Tree gathers and rebroadcasts along binary trees: O(2P) messages.
+	Tree
+)
+
+// String returns the topology name.
+func (t Topology) String() string {
+	if t == Ring {
+		return "ring"
+	}
+	return "tree"
+}
+
+// Parallel is a parallel filtering algorithm applied collectively by every
+// rank of the mesh each time step.
+type Parallel interface {
+	// Name identifies the variant in reports.
+	Name() string
+	// Apply filters all variables in place.  Collective: every rank of
+	// the mesh must call it with the same variable list.
+	Apply(vars []Variable)
+}
+
+// --- Convolution filter (the original code) ------------------------------
+
+// Convolution is the original AGCM's physical-space filter: each filtered
+// latitude circle is gathered onto every processor of its mesh row and the
+// O(N^2) circular convolution is evaluated pointwise, one variable and one
+// line at a time.  Only polar mesh rows have work: the severe load
+// imbalance the paper measures is inherent.
+type Convolution struct {
+	cart  *comm.Cart2D
+	spec  grid.Spec
+	local grid.Local
+	topo  Topology
+
+	coeffCache map[coeffKey][]float64
+}
+
+type coeffKey struct {
+	kind Kind
+	j    int
+}
+
+// NewConvolution builds the original filter for this rank's subdomain.
+func NewConvolution(cart *comm.Cart2D, spec grid.Spec, local grid.Local, topo Topology) *Convolution {
+	return &Convolution{
+		cart: cart, spec: spec, local: local, topo: topo,
+		coeffCache: make(map[coeffKey][]float64),
+	}
+}
+
+// Name implements Parallel.
+func (c *Convolution) Name() string { return "convolution-" + c.topo.String() }
+
+func (c *Convolution) coefficients(k Kind, j int) []float64 {
+	key := coeffKey{k, j}
+	if co, ok := c.coeffCache[key]; ok {
+		return co
+	}
+	co := Coefficients(DampingRow(c.spec.Nlon, c.spec.LatCenter(j), k.CritLat()))
+	c.coeffCache[key] = co
+	return co
+}
+
+// Apply implements Parallel.  As in the original code, variables are
+// processed one at a time, layer by layer (the F77 code's 2-D slabs): for
+// each (variable, layer), every rank in a mesh row packs its segments of
+// the locally filtered rows into one buffer, the buffers circulate around
+// the ring (or through the tree), and each rank convolves its own longitude
+// segment of every reassembled line.
+func (c *Convolution) Apply(vars []Variable) {
+	for _, v := range vars {
+		for k := 0; k < c.spec.Nlayers; k++ {
+			c.applySlab(v, k)
+		}
+	}
+}
+
+// applySlab filters one variable's layer-k slab.
+func (c *Convolution) applySlab(v Variable, k int) {
+	n := c.spec.Nlon
+	w := c.local.Nlon()
+	full := make([]float64, n)
+	dst := make([]float64, w)
+	lo, _ := c.local.Decomp.LonRange(c.cart.MyCol)
+
+	// The filtered (localJ, k) lines; identical across the mesh row, so
+	// the collective participation is consistent.
+	var lines [][2]int
+	for localJ := 0; localJ < c.local.Nlat(); localJ++ {
+		if IsFiltered(c.spec, v.Kind, c.local.GlobalLat(localJ)) {
+			lines = append(lines, [2]int{localJ, k})
+		}
+	}
+	if len(lines) == 0 {
+		return // equatorial mesh rows idle: the load imbalance
+	}
+	// Pack this slab's segments into one buffer per rank.
+	buf := make([]float64, 0, len(lines)*w)
+	for _, ln := range lines {
+		buf = append(buf, v.Field.RowSlice(ln[0], ln[1], nil)...)
+	}
+	var parts [][]float64
+	if c.topo == Ring {
+		parts = c.cart.Row.Allgatherv(buf)
+	} else {
+		parts = c.cart.Row.AllgathervTree(buf)
+	}
+	widths := make([]int, c.cart.Px)
+	offs := make([]int, c.cart.Px)
+	pos := 0
+	for col := 0; col < c.cart.Px; col++ {
+		a, b := c.local.Decomp.LonRange(col)
+		widths[col] = b - a
+		offs[col] = pos
+		pos += b - a
+	}
+	for li, ln := range lines {
+		for col := 0; col < c.cart.Px; col++ {
+			copy(full[offs[col]:offs[col]+widths[col]],
+				parts[col][li*widths[col]:(li+1)*widths[col]])
+		}
+		coeffs := c.coefficients(v.Kind, c.local.GlobalLat(ln[0]))
+		ApplyRowConvolution(coeffs, full, dst, lo)
+		// The physical-space sum costs 2*N flops per point.
+		c.cart.World.Proc().Compute(float64(2 * n * w))
+		v.Field.SetRowSlice(ln[0], ln[1], dst)
+	}
+}
+
+// --- FFT filter, with and without load balancing -------------------------
+
+// FFTFilter is the paper's optimized filter: filtered lines are (optionally)
+// redistributed evenly over the processor mesh in the latitudinal direction
+// (Figure 2), transposed within mesh rows so each processor holds complete
+// latitude circles (Figure 3), filtered by local FFTs, and restored.
+// All weakly and strongly filtered variables are processed concurrently —
+// the reorganization Section 3.3 describes.
+type FFTFilter struct {
+	cart     *comm.Cart2D
+	spec     grid.Spec
+	local    grid.Local
+	balanced bool
+	rf       *rowFilter
+
+	dampCache map[coeffKey][]float64
+}
+
+// NewFFT builds the transpose-based FFT filter.  With balanced=true the
+// generic row-balancing module spreads the filtered lines over the whole
+// mesh first; with balanced=false the polar processors keep all the work
+// (the middle column of the paper's Tables 8-11).
+func NewFFT(cart *comm.Cart2D, spec grid.Spec, local grid.Local, balanced bool) *FFTFilter {
+	return &FFTFilter{
+		cart: cart, spec: spec, local: local, balanced: balanced,
+		rf:        newRowFilter(spec.Nlon),
+		dampCache: make(map[coeffKey][]float64),
+	}
+}
+
+// Name implements Parallel.
+func (f *FFTFilter) Name() string {
+	if f.balanced {
+		return "fft-load-balanced"
+	}
+	return "fft"
+}
+
+func (f *FFTFilter) damping(k Kind, j int) []float64 {
+	key := coeffKey{k, j}
+	if d, ok := f.dampCache[key]; ok {
+		return d
+	}
+	d := DampingRow(f.spec.Nlon, f.spec.LatCenter(j), k.CritLat())
+	f.dampCache[key] = d
+	return d
+}
+
+// blockOwners assigns n items to p owners in contiguous blocks sized by the
+// Eq. (3) targets, returning the owner of each item.
+func blockOwners(n, p int) []int {
+	targets := loadbalance.Targets(n, p)
+	owners := make([]int, n)
+	idx := 0
+	for owner, t := range targets {
+		for c := 0; c < t; c++ {
+			owners[idx] = owner
+			idx++
+		}
+	}
+	return owners
+}
+
+// Apply implements Parallel.
+func (f *FFTFilter) Apply(vars []Variable) {
+	lines := buildLines(f.spec, vars)
+	if len(lines) == 0 {
+		return
+	}
+	d := f.local.Decomp
+	py, px := f.cart.Py, f.cart.Px
+	me := f.cart.MyRow
+	w := f.local.Nlon()
+
+	// Ownership before and after the balancing redistribution.  Both are
+	// derived locally and identically on every rank.
+	initOwner := make([]int, len(lines))
+	for l, ln := range lines {
+		initOwner[l] = d.RowOfLat(ln.j)
+	}
+	finalOwner := initOwner
+	if f.balanced {
+		finalOwner = blockOwners(len(lines), py)
+	}
+
+	// Phase 1: extract the local longitude segments of my lines.
+	segs := make([][]float64, len(lines))
+	for l, ln := range lines {
+		if initOwner[l] != me {
+			continue
+		}
+		segs[l] = vars[ln.v].Field.RowSlice(ln.j-f.local.Lat0, ln.k, nil)
+	}
+
+	// Phase 2: redistribute segments along the mesh column so each
+	// processor row holds its Eq. (3) share of lines.
+	if f.balanced {
+		f.redistribute(lines, segs, initOwner, finalOwner, tagBalance)
+	}
+
+	// myWork: the lines this processor row filters, in canonical order.
+	var myWork []int
+	for l := range lines {
+		if finalOwner[l] == me {
+			myWork = append(myWork, l)
+		}
+	}
+
+	// Phase 3: transpose within the mesh row (Figure 3): sub-block c of
+	// myWork becomes complete latitude circles on mesh column c.
+	sub := blockOwners(len(myWork), px)
+	parts := make([][]float64, px)
+	for t, l := range myWork {
+		parts[sub[t]] = append(parts[sub[t]], segs[l]...)
+	}
+	recv := f.cart.Row.Alltoallv(parts)
+
+	var myBlock []int // indices t into myWork owned by my column
+	for t := range myWork {
+		if sub[t] == f.cart.MyCol {
+			myBlock = append(myBlock, t)
+		}
+	}
+	widths := make([]int, px)
+	lonOff := make([]int, px)
+	for c := 0; c < px; c++ {
+		lo, hi := d.LonRange(c)
+		widths[c], lonOff[c] = hi-lo, lo
+	}
+	full := make([][]float64, len(myBlock))
+	for bi := range full {
+		full[bi] = make([]float64, f.spec.Nlon)
+	}
+	for c := 0; c < px; c++ {
+		buf := recv[c]
+		if len(buf) != len(myBlock)*widths[c] {
+			panic(fmt.Sprintf("filter: transpose recv from col %d has %d values, want %d",
+				c, len(buf), len(myBlock)*widths[c]))
+		}
+		for bi := range myBlock {
+			copy(full[bi][lonOff[c]:lonOff[c]+widths[c]], buf[bi*widths[c]:(bi+1)*widths[c]])
+		}
+	}
+
+	// Phase 4: local FFT filtering of complete circles.
+	n := f.spec.Nlon
+	for bi, t := range myBlock {
+		ln := lines[myWork[t]]
+		f.rf.apply(f.damping(vars[ln.v].Kind, ln.j), full[bi])
+		f.cart.World.Proc().Compute(2*fft.Flops(n) + 4*float64(n))
+	}
+
+	// Phase 5: reverse transpose.
+	back := make([][]float64, px)
+	for c := 0; c < px; c++ {
+		buf := make([]float64, 0, len(myBlock)*widths[c])
+		for bi := range myBlock {
+			buf = append(buf, full[bi][lonOff[c]:lonOff[c]+widths[c]]...)
+		}
+		back[c] = buf
+	}
+	got := f.cart.Row.Alltoallv(back)
+	offs := make([]int, px)
+	for t, l := range myWork {
+		c := sub[t]
+		segs[l] = got[c][offs[c] : offs[c]+w]
+		offs[c] += w
+	}
+
+	// Phase 6: reverse redistribution back to the home processor rows.
+	if f.balanced {
+		f.redistribute(lines, segs, finalOwner, initOwner, tagBalanceBack)
+	}
+
+	// Phase 7: write the filtered segments back into the fields.
+	for l, ln := range lines {
+		if initOwner[l] != me {
+			continue
+		}
+		vars[ln.v].Field.SetRowSlice(ln.j-f.local.Lat0, ln.k, segs[l])
+	}
+}
+
+// redistribute moves each line's segment from its `from` owner to its `to`
+// owner along the mesh column, one message per (src, dst) pair, preserving
+// the canonical line order inside every message.
+func (f *FFTFilter) redistribute(lines []line, segs [][]float64, from, to []int, tag int) {
+	me := f.cart.MyRow
+	py := f.cart.Py
+	w := f.local.Nlon()
+
+	sendBuf := make([][]float64, py)
+	for l := range lines {
+		if from[l] == me && to[l] != me {
+			sendBuf[to[l]] = append(sendBuf[to[l]], segs[l]...)
+			segs[l] = nil
+		}
+	}
+	for dst := 0; dst < py; dst++ {
+		if dst != me && sendBuf[dst] != nil {
+			f.cart.Col.Send(dst, tag, sendBuf[dst])
+		}
+	}
+	recvCount := make([]int, py)
+	for l := range lines {
+		if to[l] == me && from[l] != me {
+			recvCount[from[l]]++
+		}
+	}
+	recvBuf := make([][]float64, py)
+	for src := 0; src < py; src++ {
+		if recvCount[src] > 0 {
+			recvBuf[src] = f.cart.Col.Recv(src, tag)
+		}
+	}
+	offs := make([]int, py)
+	for l := range lines {
+		if to[l] == me && from[l] != me {
+			src := from[l]
+			segs[l] = recvBuf[src][offs[src] : offs[src]+w]
+			offs[src] += w
+		}
+	}
+}

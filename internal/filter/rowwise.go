@@ -1,0 +1,104 @@
+package filter
+
+import (
+	"agcm/internal/comm"
+	"agcm/internal/fft"
+	"agcm/internal/grid"
+)
+
+// RowwiseFFT implements the first of the two FFT parallelizations Section
+// 3.2 considers — "develop a parallel one dimensional FFT procedure for
+// processors on the same rows" — the approach the authors analysed and
+// rejected in favour of the data transpose.  Each mesh row assembles its
+// filtered slab with a recursive-doubling allgather (the O(log P)-message,
+// larger-volume pattern of the paper's analysis) and every processor then
+// transforms the full latitude circles redundantly, keeping only its own
+// longitude segment.  Fewer, larger messages than the transpose; duplicate
+// arithmetic and no load balancing — the measured communication ablation
+// shows why the paper chose the other route.
+type RowwiseFFT struct {
+	cart  *comm.Cart2D
+	spec  grid.Spec
+	local grid.Local
+	rf    *rowFilter
+
+	dampCache map[coeffKey][]float64
+}
+
+// NewRowwiseFFT builds the rejected-alternative filter for this rank.
+func NewRowwiseFFT(cart *comm.Cart2D, spec grid.Spec, local grid.Local) *RowwiseFFT {
+	return &RowwiseFFT{
+		cart: cart, spec: spec, local: local,
+		rf:        newRowFilter(spec.Nlon),
+		dampCache: make(map[coeffKey][]float64),
+	}
+}
+
+// Name implements Parallel.
+func (f *RowwiseFFT) Name() string { return "fft-rowwise" }
+
+func (f *RowwiseFFT) damping(k Kind, j int) []float64 {
+	key := coeffKey{k, j}
+	if d, ok := f.dampCache[key]; ok {
+		return d
+	}
+	d := DampingRow(f.spec.Nlon, f.spec.LatCenter(j), k.CritLat())
+	f.dampCache[key] = d
+	return d
+}
+
+// Apply implements Parallel: one allgather per variable slab, redundant
+// full-row FFTs, write back own segments.
+func (f *RowwiseFFT) Apply(vars []Variable) {
+	n := f.spec.Nlon
+	w := f.local.Nlon()
+	lo, _ := f.local.Decomp.LonRange(f.cart.MyCol)
+	full := make([]float64, n)
+
+	for _, v := range vars {
+		// Local filtered rows of this variable (same on the whole mesh
+		// row); equatorial mesh rows stay idle.
+		var rows []int
+		for localJ := 0; localJ < f.local.Nlat(); localJ++ {
+			if IsFiltered(f.spec, v.Kind, f.local.GlobalLat(localJ)) {
+				rows = append(rows, localJ)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		// Pack all (row, layer) segments, gather the slab once.
+		buf := make([]float64, 0, len(rows)*f.spec.Nlayers*w)
+		for _, localJ := range rows {
+			for k := 0; k < f.spec.Nlayers; k++ {
+				buf = append(buf, v.Field.RowSlice(localJ, k, nil)...)
+			}
+		}
+		parts := f.cart.Row.AllgathervTree(buf)
+		widths := make([]int, f.cart.Px)
+		offs := make([]int, f.cart.Px)
+		pos := 0
+		for col := 0; col < f.cart.Px; col++ {
+			a, b := f.local.Decomp.LonRange(col)
+			widths[col] = b - a
+			offs[col] = pos
+			pos += b - a
+		}
+		// Transform every line redundantly; keep my segment.
+		for li, localJ := range rows {
+			damp := f.damping(v.Kind, f.local.GlobalLat(localJ))
+			for k := 0; k < f.spec.Nlayers; k++ {
+				line := li*f.spec.Nlayers + k
+				for col := 0; col < f.cart.Px; col++ {
+					copy(full[offs[col]:offs[col]+widths[col]],
+						parts[col][line*widths[col]:(line+1)*widths[col]])
+				}
+				f.rf.apply(damp, full)
+				// Redundant arithmetic: every rank pays the full-row
+				// transform cost.
+				f.cart.World.Proc().Compute(2*fft.Flops(n) + 4*float64(n))
+				v.Field.SetRowSlice(localJ, k, full[lo:lo+w])
+			}
+		}
+	}
+}

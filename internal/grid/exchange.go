@@ -1,0 +1,211 @@
+package grid
+
+import (
+	"fmt"
+
+	"agcm/internal/comm"
+)
+
+// Tags used by the halo exchange and global gather/scatter.
+const (
+	tagEast = 100 + iota
+	tagWest
+	tagNorth
+	tagSouth
+	tagGather
+	tagScatter
+)
+
+// ExchangeHalos fills the ghost cells of every given field from the
+// neighbouring subdomains: periodically in longitude, and up to the mesh
+// edges in latitude (pole-side halos are left untouched for the dynamics'
+// polar boundary treatment).  Corner ghost cells are filled correctly by
+// ordering: the east-west exchange runs first, then the north-south
+// exchange ships full-width rows including the freshly filled east-west
+// halo columns, so diagonal-neighbour values arrive in two hops — the
+// standard trick that avoids eight-way exchanges.
+//
+// The exchange posts all sends before any receive, so it is deadlock-free
+// on any mesh, including meshes of width or height 1 (where the east/west
+// exchange degenerates into a local periodic copy).
+func ExchangeHalos(cart *comm.Cart2D, fields ...*Field) {
+	for _, f := range fields {
+		if f.halo == 0 {
+			continue
+		}
+		exchangeEastWest(cart, f)
+		exchangeNorthSouth(cart, f)
+	}
+}
+
+func exchangeEastWest(cart *comm.Cart2D, f *Field) {
+	h, nlat, nlon, nl := f.halo, f.local.Nlat(), f.local.Nlon(), f.nl
+	if cart.Px == 1 {
+		// Periodic wrap within the single subdomain.
+		for j := 0; j < nlat; j++ {
+			for g := 0; g < h; g++ {
+				for k := 0; k < nl; k++ {
+					f.Set(j, -1-g, k, f.At(j, nlon-1-g, k))
+					f.Set(j, nlon+g, k, f.At(j, g, k))
+				}
+			}
+		}
+		return
+	}
+	row := cart.Row
+	east := (cart.MyCol + 1) % cart.Px
+	west := (cart.MyCol - 1 + cart.Px) % cart.Px
+	pack := func(i0 int) []float64 {
+		buf := make([]float64, h*nlat*nl)
+		p := 0
+		for g := 0; g < h; g++ {
+			for j := 0; j < nlat; j++ {
+				for k := 0; k < nl; k++ {
+					buf[p] = f.At(j, i0+g, k)
+					p++
+				}
+			}
+		}
+		return buf
+	}
+	unpack := func(i0 int, buf []float64) {
+		p := 0
+		for g := 0; g < h; g++ {
+			for j := 0; j < nlat; j++ {
+				for k := 0; k < nl; k++ {
+					f.Set(j, i0+g, k, buf[p])
+					p++
+				}
+			}
+		}
+	}
+	// Send my eastmost interior columns east, westmost west.
+	row.Send(east, tagEast, pack(nlon-h))
+	row.Send(west, tagWest, pack(0))
+	unpack(-h, row.Recv(west, tagEast)) // west neighbour's east edge fills my west halo
+	unpack(nlon, row.Recv(east, tagWest))
+}
+
+func exchangeNorthSouth(cart *comm.Cart2D, f *Field) {
+	h, nlat, nlon, nl := f.halo, f.local.Nlat(), f.local.Nlon(), f.nl
+	col := cart.Col
+	north := cart.MyRow + 1
+	south := cart.MyRow - 1
+	// Rows travel at full padded width (-h .. nlon+h) so that corner
+	// ghost cells carry the diagonal neighbours' values.
+	width := nlon + 2*h
+	pack := func(j0 int) []float64 {
+		buf := make([]float64, h*width*nl)
+		p := 0
+		for g := 0; g < h; g++ {
+			for i := -h; i < nlon+h; i++ {
+				for k := 0; k < nl; k++ {
+					buf[p] = f.At(j0+g, i, k)
+					p++
+				}
+			}
+		}
+		return buf
+	}
+	unpack := func(j0 int, buf []float64) {
+		p := 0
+		for g := 0; g < h; g++ {
+			for i := -h; i < nlon+h; i++ {
+				for k := 0; k < nl; k++ {
+					f.Set(j0+g, i, k, buf[p])
+					p++
+				}
+			}
+		}
+	}
+	if north < cart.Py {
+		col.Send(north, tagNorth, pack(nlat-h))
+	}
+	if south >= 0 {
+		col.Send(south, tagSouth, pack(0))
+	}
+	if south >= 0 {
+		unpack(-h, col.Recv(south, tagNorth))
+	}
+	if north < cart.Py {
+		unpack(nlat, col.Recv(north, tagSouth))
+	}
+}
+
+// Gather assembles the global interior of f on world rank 0 and returns it
+// flattened as [Nlat][Nlon][Nlayers] (latitude-major, layer innermost).
+// Other ranks return nil.
+func Gather(world *comm.Comm, cart *comm.Cart2D, f *Field) []float64 {
+	d := f.local.Decomp
+	mine := make([]float64, f.local.Points())
+	p := 0
+	for j := 0; j < f.local.Nlat(); j++ {
+		for i := 0; i < f.local.Nlon(); i++ {
+			for k := 0; k < f.nl; k++ {
+				mine[p] = f.At(j, i, k)
+				p++
+			}
+		}
+	}
+	parts := world.Gatherv(0, mine)
+	if parts == nil {
+		return nil
+	}
+	spec := d.Spec
+	global := make([]float64, spec.Points())
+	for r, part := range parts {
+		row, col := r/d.Px, r%d.Px
+		lat0, lat1 := d.LatRange(row)
+		lon0, lon1 := d.LonRange(col)
+		q := 0
+		for j := lat0; j < lat1; j++ {
+			for i := lon0; i < lon1; i++ {
+				for k := 0; k < spec.Nlayers; k++ {
+					global[(j*spec.Nlon+i)*spec.Nlayers+k] = part[q]
+					q++
+				}
+			}
+		}
+	}
+	return global
+}
+
+// Scatter distributes a global flattened array (layout as returned by
+// Gather) from world rank 0 into each rank's field interior.
+func Scatter(world *comm.Comm, cart *comm.Cart2D, global []float64, f *Field) {
+	d := f.local.Decomp
+	spec := d.Spec
+	var parts [][]float64
+	if world.Rank() == 0 {
+		if len(global) != spec.Points() {
+			panic(fmt.Sprintf("grid: Scatter global size %d, want %d", len(global), spec.Points()))
+		}
+		parts = make([][]float64, world.Size())
+		for r := range parts {
+			row, col := r/d.Px, r%d.Px
+			lat0, lat1 := d.LatRange(row)
+			lon0, lon1 := d.LonRange(col)
+			part := make([]float64, (lat1-lat0)*(lon1-lon0)*spec.Nlayers)
+			q := 0
+			for j := lat0; j < lat1; j++ {
+				for i := lon0; i < lon1; i++ {
+					for k := 0; k < spec.Nlayers; k++ {
+						part[q] = global[(j*spec.Nlon+i)*spec.Nlayers+k]
+						q++
+					}
+				}
+			}
+			parts[r] = part
+		}
+	}
+	mine := world.Scatterv(0, parts)
+	p := 0
+	for j := 0; j < f.local.Nlat(); j++ {
+		for i := 0; i < f.local.Nlon(); i++ {
+			for k := 0; k < f.nl; k++ {
+				f.Set(j, i, k, mine[p])
+				p++
+			}
+		}
+	}
+}

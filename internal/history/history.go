@@ -1,0 +1,190 @@
+// Package history implements the AGCM's history/restart file IO.  The
+// original code read a NetCDF history file; porting it to the Intel Paragon
+// required a byte-order reversal routine because no NetCDF library was
+// available there (Section 4).  This package reproduces that code path with
+// a self-describing binary format whose on-disk byte order is explicit, plus
+// the byte-order reversal routine for foreign-endian files.
+package history
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"agcm/internal/grid"
+)
+
+// Magic identifies a history file.
+const Magic = 0x41474D48 // "AGMH"
+
+// Version is the current format version.
+const Version = 1
+
+// File is an in-memory history record: the full global state of every
+// stored variable at one instant.
+type File struct {
+	Spec grid.Spec
+	// Step is the time-step index the record was taken at.
+	Step int
+	// Names and Data hold the variables; Data[i] is flattened
+	// [Nlat][Nlon][Nlayers] like grid.Gather's output.
+	Names []string
+	Data  [][]float64
+}
+
+// AddVariable appends a variable; the data length must match the spec.
+func (f *File) AddVariable(name string, data []float64) error {
+	if len(data) != f.Spec.Points() {
+		return fmt.Errorf("history: variable %q has %d values, want %d",
+			name, len(data), f.Spec.Points())
+	}
+	f.Names = append(f.Names, name)
+	f.Data = append(f.Data, data)
+	return nil
+}
+
+// Variable returns the named variable's data, or an error.
+func (f *File) Variable(name string) ([]float64, error) {
+	for i, n := range f.Names {
+		if n == name {
+			return f.Data[i], nil
+		}
+	}
+	return nil, fmt.Errorf("history: no variable %q", name)
+}
+
+// ByteOrder selects the on-disk endianness.
+type ByteOrder int
+
+const (
+	// BigEndian is the canonical history byte order (the workstation
+	// side in the paper's anecdote).
+	BigEndian ByteOrder = iota
+	// LittleEndian matches the Paragon's native order.
+	LittleEndian
+)
+
+func (b ByteOrder) order() binary.ByteOrder {
+	if b == BigEndian {
+		return binary.BigEndian
+	}
+	return binary.LittleEndian
+}
+
+// Write serializes the file in the given byte order.  The header is always
+// written in big-endian so a reader can detect the payload order from the
+// stored flag.
+func Write(w io.Writer, f *File, bo ByteOrder) error {
+	hdr := make([]uint32, 8)
+	hdr[0] = Magic
+	hdr[1] = Version
+	hdr[2] = uint32(bo)
+	hdr[3] = uint32(f.Spec.Nlon)
+	hdr[4] = uint32(f.Spec.Nlat)
+	hdr[5] = uint32(f.Spec.Nlayers)
+	hdr[6] = uint32(f.Step)
+	hdr[7] = uint32(len(f.Names))
+	if err := binary.Write(w, binary.BigEndian, hdr); err != nil {
+		return fmt.Errorf("history: writing header: %w", err)
+	}
+	ord := bo.order()
+	for i, name := range f.Names {
+		nb := []byte(name)
+		if len(nb) > 255 {
+			return fmt.Errorf("history: variable name %q too long", name)
+		}
+		if err := binary.Write(w, binary.BigEndian, uint32(len(nb))); err != nil {
+			return err
+		}
+		if _, err := w.Write(nb); err != nil {
+			return err
+		}
+		buf := make([]byte, 8*len(f.Data[i]))
+		for j, v := range f.Data[i] {
+			ord.PutUint64(buf[8*j:], math.Float64bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return fmt.Errorf("history: writing %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Read deserializes a history file, transparently applying the byte-order
+// reversal when the payload order differs from what the caller's platform
+// would have written — the routine the paper's authors had to add for the
+// Paragon port.
+func Read(r io.Reader) (*File, error) {
+	hdr := make([]uint32, 8)
+	if err := binary.Read(r, binary.BigEndian, hdr); err != nil {
+		return nil, fmt.Errorf("history: reading header: %w", err)
+	}
+	if hdr[0] != Magic {
+		return nil, fmt.Errorf("history: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != Version {
+		return nil, fmt.Errorf("history: unsupported version %d", hdr[1])
+	}
+	bo := ByteOrder(hdr[2])
+	if bo != BigEndian && bo != LittleEndian {
+		return nil, fmt.Errorf("history: bad byte-order flag %d", hdr[2])
+	}
+	f := &File{
+		Spec: grid.Spec{Nlon: int(hdr[3]), Nlat: int(hdr[4]), Nlayers: int(hdr[5])},
+		Step: int(hdr[6]),
+	}
+	if err := f.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	// Bound allocations before trusting header-declared sizes: the
+	// largest plausible history grid is far below these caps.
+	if f.Spec.Nlon > 1<<16 || f.Spec.Nlat > 1<<16 || f.Spec.Nlayers > 1<<12 {
+		return nil, fmt.Errorf("history: implausible grid %dx%dx%d",
+			f.Spec.Nlon, f.Spec.Nlat, f.Spec.Nlayers)
+	}
+	nvars := int(hdr[7])
+	if nvars > 1<<10 {
+		return nil, fmt.Errorf("history: implausible variable count %d", nvars)
+	}
+	ord := bo.order()
+	for v := 0; v < nvars; v++ {
+		var nameLen uint32
+		if err := binary.Read(r, binary.BigEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		if nameLen > 255 { // Write never produces longer names
+			return nil, fmt.Errorf("history: implausible name length %d", nameLen)
+		}
+		nb := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, nb); err != nil {
+			return nil, err
+		}
+		buf := make([]byte, 8*f.Spec.Points())
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, fmt.Errorf("history: reading %q: %w", nb, err)
+		}
+		data := make([]float64, f.Spec.Points())
+		for j := range data {
+			data[j] = math.Float64frombits(ord.Uint64(buf[8*j:]))
+		}
+		f.Names = append(f.Names, string(nb))
+		f.Data = append(f.Data, data)
+	}
+	return f, nil
+}
+
+// ReverseBytes reverses the byte order of every 8-byte word in place — the
+// raw conversion routine for repairing a history payload read with the
+// wrong endianness assumption.
+func ReverseBytes(buf []byte) error {
+	if len(buf)%8 != 0 {
+		return fmt.Errorf("history: buffer length %d not a multiple of 8", len(buf))
+	}
+	for off := 0; off < len(buf); off += 8 {
+		for a, b := off, off+7; a < b; a, b = a+1, b-1 {
+			buf[a], buf[b] = buf[b], buf[a]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,195 @@
+// Package machine defines performance models of the distributed-memory
+// computers used in the paper: the Intel Paragon, the Cray T3D and the IBM
+// SP-2.  A Model translates abstract work (flops, memory traffic, message
+// bytes) into virtual seconds for the sim package, and carries the cache
+// geometry used by the single-node cache experiments.
+//
+// The parameters are calibrated, not measured: sustained per-node flop rates
+// were chosen so that the simulated one-node AGCM run lands near the paper's
+// Table 4/6 single-node timings, and network parameters follow published
+// characterizations of the two machines.  The paper's conclusions are about
+// ratios (speedups, component fractions, crossovers), which depend on the
+// algorithms' operation and message counts rather than on these absolute
+// constants.
+package machine
+
+import "fmt"
+
+// Model is a linear (LogGP-flavoured) machine performance model plus the
+// memory-hierarchy geometry of one node.
+type Model struct {
+	// Name identifies the machine in reports, e.g. "Intel Paragon".
+	Name string
+
+	// FlopRate is the sustained floating-point rate of one node in
+	// flop/s for compiled inner-loop code (far below peak, as the paper
+	// observes for real-world codes).
+	FlopRate float64
+
+	// MemBandwidth is the effective main-memory bandwidth of one node in
+	// byte/s, charged for cache-missing traffic.
+	MemBandwidth float64
+
+	// CacheBytes, CacheLineBytes and CacheWays describe the node's data
+	// cache, used by the cache simulator in the single-node experiments.
+	CacheBytes     int
+	CacheLineBytes int
+	CacheWays      int
+
+	// KernelFlopRate is the flop rate of a simple, cache-resident inner
+	// loop (far above the whole-application FlopRate), and MissPenalty
+	// is the stall per cache-line miss.  Together they drive the
+	// single-node layout experiments of Section 3.4.
+	KernelFlopRate float64
+	MissPenalty    float64
+
+	// SendOverhead and RecvOverhead are the per-message CPU occupancies
+	// in seconds on the sender and receiver.
+	SendOverhead float64
+	RecvOverhead float64
+
+	// Latency is the network wire latency per message in seconds.
+	Latency float64
+
+	// Bandwidth is the per-link network bandwidth in byte/s.
+	Bandwidth float64
+}
+
+// FlopSeconds implements sim.CostModel.
+func (m *Model) FlopSeconds(n float64) float64 { return n / m.FlopRate }
+
+// MemSeconds implements sim.CostModel.
+func (m *Model) MemSeconds(n float64) float64 { return n / m.MemBandwidth }
+
+// SendOverheadSeconds implements sim.CostModel.
+func (m *Model) SendOverheadSeconds(bytes int) float64 { return m.SendOverhead }
+
+// RecvOverheadSeconds implements sim.CostModel.
+func (m *Model) RecvOverheadSeconds(bytes int) float64 { return m.RecvOverhead }
+
+// NetworkSeconds implements sim.CostModel.
+func (m *Model) NetworkSeconds(bytes int) float64 {
+	return m.Latency + float64(bytes)/m.Bandwidth
+}
+
+// String returns the machine name.
+func (m *Model) String() string { return m.Name }
+
+// Validate reports an error if any model parameter is non-positive.
+func (m *Model) Validate() error {
+	switch {
+	case m.FlopRate <= 0:
+		return fmt.Errorf("machine %q: FlopRate must be positive", m.Name)
+	case m.MemBandwidth <= 0:
+		return fmt.Errorf("machine %q: MemBandwidth must be positive", m.Name)
+	case m.Bandwidth <= 0:
+		return fmt.Errorf("machine %q: Bandwidth must be positive", m.Name)
+	case m.Latency < 0 || m.SendOverhead < 0 || m.RecvOverhead < 0:
+		return fmt.Errorf("machine %q: overheads must be non-negative", m.Name)
+	case m.CacheBytes <= 0 || m.CacheLineBytes <= 0 || m.CacheWays <= 0:
+		return fmt.Errorf("machine %q: cache geometry must be positive", m.Name)
+	case m.KernelFlopRate <= 0 || m.MissPenalty <= 0:
+		return fmt.Errorf("machine %q: kernel rate and miss penalty must be positive", m.Name)
+	case m.CacheBytes%(m.CacheLineBytes*m.CacheWays) != 0:
+		return fmt.Errorf("machine %q: cache size %d not divisible by line*ways",
+			m.Name, m.CacheBytes)
+	}
+	return nil
+}
+
+// Paragon returns a model of one Intel Paragon XP/S node: an i860 XP at
+// 50 MHz (75 Mflop/s peak) with an 16 KB data cache, on a 2-D mesh network.
+// The sustained flop rate reflects the poor compiled-code efficiency the
+// paper reports for the AGCM on this machine.
+func Paragon() *Model {
+	return &Model{
+		Name:           "Intel Paragon",
+		FlopRate:       3.2e6, // sustained, calibrated to Table 4's 1x1 run
+		MemBandwidth:   24e6,  // effective miss bandwidth
+		CacheBytes:     16384, // i860 XP 16 KB data cache
+		CacheLineBytes: 32,
+		CacheWays:      4,
+		KernelFlopRate: 30e6,    // dual-operation pipelined loops out of cache
+		MissPenalty:    0.70e-6, // ~35 cycles at 50 MHz
+		SendOverhead:   60e-6,   // NX message-passing software overhead
+		RecvOverhead:   60e-6,
+		Latency:        100e-6,
+		Bandwidth:      70e6,
+	}
+}
+
+// CrayT3D returns a model of one Cray T3D node: a 150 MHz Alpha 21064
+// (150 Mflop/s peak) with an 8 KB direct-mapped data cache and no board
+// cache, on a 3-D torus.  The paper finds the AGCM about 2.5x faster per
+// node on the T3D than on the Paragon.
+func CrayT3D() *Model {
+	return &Model{
+		Name:           "Cray T3D",
+		FlopRate:       8.0e6, // sustained, calibrated to Table 6's 1x1 run
+		MemBandwidth:   85e6,  // DRAM read bandwidth seen by one PE
+		CacheBytes:     8192,  // EV4 8 KB direct-mapped D-cache
+		CacheLineBytes: 32,
+		CacheWays:      1,
+		KernelFlopRate: 25e6,    // EV4 simple loops out of cache
+		MissPenalty:    0.16e-6, // ~24 cycles at 150 MHz (no board cache)
+		SendOverhead:   15e-6,   // PVM/MPI layer over shmem
+		RecvOverhead:   15e-6,
+		Latency:        25e-6,
+		Bandwidth:      120e6,
+	}
+}
+
+// IBMSP2 returns a model of one IBM SP-2 thin node: a 66 MHz POWER2 with a
+// large cache and a high-latency multistage switch.  The paper ran on the
+// SP-2 but reports only that results were qualitatively similar.
+func IBMSP2() *Model {
+	return &Model{
+		Name:           "IBM SP-2",
+		FlopRate:       14.0e6,
+		MemBandwidth:   150e6,
+		CacheBytes:     65536, // POWER2 64 KB 4-way data cache
+		CacheLineBytes: 64,
+		CacheWays:      4,
+		KernelFlopRate: 60e6,
+		MissPenalty:    0.15e-6,
+		SendOverhead:   30e-6,
+		RecvOverhead:   30e-6,
+		Latency:        40e-6,
+		Bandwidth:      35e6,
+	}
+}
+
+// Degraded returns a copy of the model with its processor slowed by the
+// given factor (> 1), network untouched — a failing fan, a shared node, a
+// slower board: the hardware-heterogeneity scenario an estimate-driven
+// load balancer should absorb.
+func Degraded(m *Model, factor float64) *Model {
+	if factor <= 0 {
+		panic(fmt.Sprintf("machine: invalid degradation factor %g", factor))
+	}
+	d := *m
+	d.Name = fmt.Sprintf("%s (degraded %.1fx)", m.Name, factor)
+	d.FlopRate = m.FlopRate / factor
+	d.KernelFlopRate = m.KernelFlopRate / factor
+	d.MemBandwidth = m.MemBandwidth / factor
+	return &d
+}
+
+// All returns the three modelled machines in paper order.
+func All() []*Model {
+	return []*Model{Paragon(), CrayT3D(), IBMSP2()}
+}
+
+// ByName returns the model whose Name contains the given case-sensitive
+// short name ("Paragon", "T3D", "SP-2"), or an error.
+func ByName(name string) (*Model, error) {
+	switch name {
+	case "paragon", "Paragon":
+		return Paragon(), nil
+	case "t3d", "T3D":
+		return CrayT3D(), nil
+	case "sp2", "SP-2", "SP2":
+		return IBMSP2(), nil
+	}
+	return nil, fmt.Errorf("machine: unknown machine %q (want paragon, t3d or sp2)", name)
+}

@@ -1,0 +1,402 @@
+package physics
+
+import (
+	"fmt"
+
+	"agcm/internal/comm"
+	"agcm/internal/grid"
+	"agcm/internal/loadbalance"
+)
+
+// Scheme selects the physics load-balancing strategy of Section 3.4.
+type Scheme int
+
+const (
+	// None runs every column on its home processor (the original code).
+	None Scheme = iota
+	// Shuffle is scheme 1: cyclic all-to-all data shuffling (Figure 4).
+	Shuffle
+	// Greedy is scheme 2: sorted greedy surplus-to-deficit moves (Figure 5).
+	Greedy
+	// Pairwise is scheme 3, the adopted one: iterative sorted pairwise
+	// exchange (Figure 6).
+	Pairwise
+)
+
+// String returns the scheme name.
+func (s Scheme) String() string {
+	switch s {
+	case None:
+		return "none"
+	case Shuffle:
+		return "shuffle"
+	case Greedy:
+		return "greedy"
+	case Pairwise:
+		return "pairwise"
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// User tags for the balancing traffic.
+const (
+	tagColumns = 31 + iota // shipped column inputs (one tag per round added)
+	tagResults = 61
+	maxRounds  = 8
+)
+
+// packBookkeepingFlops is the per-column pack/unpack overhead charged to the
+// clock — the "substantial amount of local bookkeeping" the paper warns
+// about for schemes that move data.
+const packBookkeepingFlops = 24
+
+// Runner executes the Physics component on one rank with optional load
+// balancing by real column movement: estimate loads from the previous pass,
+// plan identical transfers on every rank, ship columns, compute them where
+// they land, and return the results to their home subdomains.
+type Runner struct {
+	Model  *Model
+	world  *comm.Comm
+	cart   *comm.Cart2D
+	local  grid.Local
+	scheme Scheme
+	rounds int
+
+	myPrevFlops  float64
+	haveEstimate bool
+}
+
+// NewRunner builds a physics runner.  rounds is the number of balancing
+// rounds per step (the paper applies scheme 3 twice); it is ignored by
+// None, Shuffle and Greedy.
+func NewRunner(world *comm.Comm, cart *comm.Cart2D, local grid.Local,
+	model *Model, scheme Scheme, rounds int) *Runner {
+	if rounds < 1 {
+		rounds = 1
+	}
+	if rounds > maxRounds {
+		rounds = maxRounds
+	}
+	if scheme != Pairwise {
+		rounds = 1
+	}
+	return &Runner{Model: model, world: world, cart: cart, local: local,
+		scheme: scheme, rounds: rounds}
+}
+
+// Scheme returns the configured balancing scheme.
+func (r *Runner) Scheme() Scheme { return r.scheme }
+
+// PrevLoadSeconds returns the virtual seconds this rank's own columns cost
+// during the previous step — the load estimate the balancer works from.
+func (r *Runner) PrevLoadSeconds() float64 {
+	return r.world.Proc().Model().FlopSeconds(r.myPrevFlops)
+}
+
+// segment is a run of columns sharing one origin, used to mirror every
+// rank's holdings during planning.
+type segment struct {
+	origin, count int
+}
+
+// transfer is one concrete planned move of whole columns.
+type transfer struct {
+	round, src, dst, count int
+}
+
+// Step runs one physics step over the T and Q fields, balancing per the
+// configured scheme.  Collective: all ranks call it each step.
+func (r *Runner) Step(T, Q *grid.Field, step int) {
+	p := r.world.Proc()
+	cols := r.extractColumns(T, Q)
+
+	if r.scheme == None || !r.haveEstimate || r.world.Size() == 1 {
+		total := 0.0
+		for _, c := range cols {
+			f := r.Model.Compute(c, step)
+			p.Compute(f)
+			total += f
+		}
+		r.myPrevFlops = total
+		r.haveEstimate = true
+		r.writeBack(cols, T, Q)
+		return
+	}
+
+	// --- 1. Share the previous-pass load estimates. ---
+	parts := r.world.Allgatherv([]float64{r.PrevLoadSeconds()})
+	loads := make([]float64, len(parts))
+	for i, q := range parts {
+		loads[i] = q[0]
+	}
+
+	// --- 2. Plan transfers; identical on every rank. ---
+	transfers, holdings := r.plan(loads)
+
+	// --- 3. Execute the column movements round by round. ---
+	held := make([]*Column, len(cols))
+	copy(held, cols)
+	for _, t := range transfers {
+		tag := tagColumns + t.round
+		switch r.world.Rank() {
+		case t.src:
+			nk := len(held) - t.count
+			out := held[nk:]
+			held = held[:nk]
+			r.world.Send(t.dst, tag, r.packInputs(out))
+			p.Compute(packBookkeepingFlops * float64(t.count))
+		case t.dst:
+			in := r.unpackInputs(r.world.Recv(t.src, tag))
+			held = append(held, in...)
+			p.Compute(packBookkeepingFlops * float64(len(in)))
+		}
+	}
+
+	// --- 4. Compute every held column where it landed. ---
+	me := r.world.Rank()
+	flopsByOrigin := make(map[int]float64)
+	for _, c := range held {
+		f := r.Model.Compute(c, step)
+		p.Compute(f)
+		flopsByOrigin[c.Origin] += f
+		if c.Origin == me {
+			// Own columns normally share pointers with cols, but a
+			// column relayed back home arrives as a fresh struct:
+			// re-link it so its result is not lost.
+			cols[c.Index] = c
+		}
+	}
+
+	// --- 5. Return results to their home subdomains. ---
+	byOrigin := make(map[int][]*Column)
+	for _, c := range held {
+		if c.Origin != me {
+			byOrigin[c.Origin] = append(byOrigin[c.Origin], c)
+		}
+	}
+	for origin := 0; origin < r.world.Size(); origin++ {
+		group := byOrigin[origin]
+		if len(group) == 0 {
+			continue
+		}
+		buf := r.packResults(group)
+		buf = append(buf, flopsByOrigin[origin])
+		r.world.Send(origin, tagResults, buf)
+		p.Compute(packBookkeepingFlops * float64(len(group)))
+	}
+	// Who holds my columns now?  The holdings simulation says exactly.
+	myFlops := flopsByOrigin[me]
+	for holder := 0; holder < r.world.Size(); holder++ {
+		if holder == me {
+			continue
+		}
+		has := false
+		for _, seg := range holdings[holder] {
+			if seg.origin == me && seg.count > 0 {
+				has = true
+				break
+			}
+		}
+		if !has {
+			continue
+		}
+		buf := r.world.Recv(holder, tagResults)
+		myFlops += buf[len(buf)-1]
+		r.unpackResults(buf[:len(buf)-1], cols)
+	}
+	// Columns I computed myself (own or foreign) already mutated in
+	// place; own results for own columns need no copying because held
+	// shares pointers with cols.
+	r.myPrevFlops = myFlops
+	r.writeBack(cols, T, Q)
+}
+
+// plan converts load estimates into whole-column transfers, mirroring every
+// rank's holdings so result routing needs no extra communication.  All
+// inputs are globally known, so every rank computes the identical plan.
+func (r *Runner) plan(loads []float64) ([]transfer, [][]segment) {
+	n := r.world.Size()
+	d := r.local.Decomp
+	counts := make([]int, n)
+	totalCols := 0
+	for rank := 0; rank < n; rank++ {
+		row, col := rank/d.Px, rank%d.Px
+		la, lb := d.LatRange(row)
+		lo, hi := d.LonRange(col)
+		counts[rank] = (lb - la) * (hi - lo)
+		totalCols += counts[rank]
+	}
+	totalLoad := 0.0
+	for _, v := range loads {
+		totalLoad += v
+	}
+	perCol := totalLoad / float64(totalCols)
+	if perCol <= 0 {
+		return nil, initialHoldings(counts)
+	}
+
+	holdings := initialHoldings(counts)
+	cur := append([]float64(nil), loads...)
+	var transfers []transfer
+	for round := 0; round < r.rounds; round++ {
+		var moves []loadbalance.Move
+		switch r.scheme {
+		case Shuffle:
+			moves = loadbalance.CyclicShuffle(cur)
+		case Greedy:
+			moves = loadbalance.SortedGreedy(cur, perCol)
+		case Pairwise:
+			moves = loadbalance.PairwiseStep(cur, perCol, 0)
+		}
+		for _, m := range moves {
+			cnt := int(m.Amount/perCol + 0.5)
+			avail := heldCount(holdings[m.Src]) - 1 // keep at least one
+			if cnt > avail {
+				cnt = avail
+			}
+			if cnt <= 0 {
+				continue
+			}
+			transfers = append(transfers, transfer{round: round, src: m.Src, dst: m.Dst, count: cnt})
+			moved := popTail(&holdings[m.Src], cnt)
+			holdings[m.Dst] = append(holdings[m.Dst], moved...)
+			amt := float64(cnt) * perCol
+			cur[m.Src] -= amt
+			cur[m.Dst] += amt
+		}
+	}
+	return transfers, holdings
+}
+
+func initialHoldings(counts []int) [][]segment {
+	h := make([][]segment, len(counts))
+	for rank, c := range counts {
+		h[rank] = []segment{{origin: rank, count: c}}
+	}
+	return h
+}
+
+func heldCount(segs []segment) int {
+	n := 0
+	for _, s := range segs {
+		n += s.count
+	}
+	return n
+}
+
+// popTail removes the last n columns from a holdings list and returns them
+// as segments in their held order.
+func popTail(segs *[]segment, n int) []segment {
+	s := *segs
+	var tail []segment
+	for n > 0 && len(s) > 0 {
+		last := &s[len(s)-1]
+		take := last.count
+		if take > n {
+			take = n
+		}
+		tail = append([]segment{{origin: last.origin, count: take}}, tail...)
+		last.count -= take
+		n -= take
+		if last.count == 0 {
+			s = s[:len(s)-1]
+		}
+	}
+	*segs = s
+	return tail
+}
+
+// extractColumns builds the local column list in the canonical (j, i)
+// order.  Column structs reference freshly copied profile slices.
+func (r *Runner) extractColumns(T, Q *grid.Field) []*Column {
+	nlat, nlon, nl := r.local.Nlat(), r.local.Nlon(), r.local.Nlayers()
+	cols := make([]*Column, 0, nlat*nlon)
+	me := r.world.Rank()
+	for j := 0; j < nlat; j++ {
+		for i := 0; i < nlon; i++ {
+			c := &Column{
+				Origin: me,
+				Index:  j*nlon + i,
+				J:      r.local.GlobalLat(j),
+				I:      r.local.GlobalLon(i),
+				T:      make([]float64, nl),
+				Q:      make([]float64, nl),
+			}
+			copy(c.T, T.Column(j, i))
+			copy(c.Q, Q.Column(j, i))
+			cols = append(cols, c)
+		}
+	}
+	return cols
+}
+
+// writeBack stores the (possibly remotely computed) column profiles into
+// the local fields.
+func (r *Runner) writeBack(cols []*Column, T, Q *grid.Field) {
+	nlon := r.local.Nlon()
+	for _, c := range cols {
+		j, i := c.Index/nlon, c.Index%nlon
+		copy(T.Column(j, i), c.T)
+		copy(Q.Column(j, i), c.Q)
+	}
+}
+
+// packInputs serializes columns for shipment: per column J, I, Origin,
+// Index, then the T and Q profiles.
+func (r *Runner) packInputs(cols []*Column) []float64 {
+	nl := r.local.Nlayers()
+	buf := make([]float64, 0, len(cols)*(4+2*nl))
+	for _, c := range cols {
+		buf = append(buf, float64(c.J), float64(c.I), float64(c.Origin), float64(c.Index))
+		buf = append(buf, c.T...)
+		buf = append(buf, c.Q...)
+	}
+	return buf
+}
+
+func (r *Runner) unpackInputs(buf []float64) []*Column {
+	nl := r.local.Nlayers()
+	stride := 4 + 2*nl
+	if len(buf)%stride != 0 {
+		panic(fmt.Sprintf("physics: column message of %d values not divisible by %d", len(buf), stride))
+	}
+	cols := make([]*Column, 0, len(buf)/stride)
+	for off := 0; off < len(buf); off += stride {
+		c := &Column{
+			J: int(buf[off]), I: int(buf[off+1]),
+			Origin: int(buf[off+2]), Index: int(buf[off+3]),
+			T: append([]float64(nil), buf[off+4:off+4+nl]...),
+			Q: append([]float64(nil), buf[off+4+nl:off+stride]...),
+		}
+		cols = append(cols, c)
+	}
+	return cols
+}
+
+// packResults serializes computed columns for the trip home: per column
+// Index, then T and Q.
+func (r *Runner) packResults(cols []*Column) []float64 {
+	nl := r.local.Nlayers()
+	buf := make([]float64, 0, len(cols)*(1+2*nl))
+	for _, c := range cols {
+		buf = append(buf, float64(c.Index))
+		buf = append(buf, c.T...)
+		buf = append(buf, c.Q...)
+	}
+	return buf
+}
+
+// unpackResults applies returned column profiles to the home column list.
+func (r *Runner) unpackResults(buf []float64, cols []*Column) {
+	nl := r.local.Nlayers()
+	stride := 1 + 2*nl
+	if len(buf)%stride != 0 {
+		panic(fmt.Sprintf("physics: result message of %d values not divisible by %d", len(buf), stride))
+	}
+	for off := 0; off < len(buf); off += stride {
+		idx := int(buf[off])
+		c := cols[idx]
+		copy(c.T, buf[off+1:off+1+nl])
+		copy(c.Q, buf[off+1+nl:off+stride])
+	}
+}

@@ -1,0 +1,347 @@
+package physics
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"agcm/internal/comm"
+	"agcm/internal/grid"
+	"agcm/internal/machine"
+	"agcm/internal/sim"
+)
+
+const stepsPerDay = 48
+
+func testColumn(spec grid.Spec, j, i int) *Column {
+	lat := spec.LatCenter(j)
+	k := spec.Nlayers
+	c := &Column{J: j, I: i, T: make([]float64, k), Q: make([]float64, k)}
+	for kk := 0; kk < k; kk++ {
+		c.T[kk] = 288 - 60*math.Sin(lat)*math.Sin(lat) - 6*float64(kk)
+		c.Q[kk] = 0.015 * math.Cos(lat) * math.Exp(-0.4*float64(kk))
+	}
+	return c
+}
+
+func TestNoise01Range(t *testing.T) {
+	for j := 0; j < 50; j++ {
+		for i := 0; i < 50; i += 7 {
+			v := noise01(j, i, 3)
+			if v < 0 || v >= 1 {
+				t.Fatalf("noise01(%d,%d,3) = %g", j, i, v)
+			}
+		}
+	}
+	if noise01(3, 4, 5) != noise01(3, 4, 5) {
+		t.Fatal("noise01 not deterministic")
+	}
+	if noise01(3, 4, 5) == noise01(3, 4, 6) && noise01(1, 1, 1) == noise01(1, 1, 2) {
+		t.Fatal("noise01 ignores the epoch")
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	spec := grid.TwoByTwoPointFive(9)
+	m := NewModel(spec, stepsPerDay)
+	a := testColumn(spec, 45, 10)
+	b := testColumn(spec, 45, 10)
+	fa := m.Compute(a, 7)
+	fb := m.Compute(b, 7)
+	if fa != fb {
+		t.Fatalf("flops differ: %g vs %g", fa, fb)
+	}
+	for k := range a.T {
+		if a.T[k] != b.T[k] || a.Q[k] != b.Q[k] {
+			t.Fatalf("profiles differ at layer %d", k)
+		}
+	}
+}
+
+func TestDaylightCostsMore(t *testing.T) {
+	spec := grid.TwoByTwoPointFive(9)
+	m := NewModel(spec, stepsPerDay)
+	// Two equatorial columns on opposite sides of the planet: one is in
+	// daylight, the other in darkness at any step.
+	c1 := testColumn(spec, 45, 0)
+	c2 := testColumn(spec, 45, spec.Nlon/2)
+	f1 := m.EstimateFlops(c1, 0)
+	f2 := m.EstimateFlops(c2, 0)
+	day, night := f1, f2
+	if m.CosZenith(c1, 0) < m.CosZenith(c2, 0) {
+		day, night = f2, f1
+	}
+	if day <= night {
+		t.Fatalf("daylight column (%g flops) not costlier than night (%g)", day, night)
+	}
+}
+
+func TestTropicsCostMoreThanPoles(t *testing.T) {
+	spec := grid.TwoByTwoPointFive(9)
+	m := NewModel(spec, stepsPerDay)
+	// Average over a full day to remove the day/night phase.
+	avg := func(j int) float64 {
+		var sum float64
+		for step := 0; step < stepsPerDay; step++ {
+			sum += m.EstimateFlops(testColumn(spec, j, 7), step)
+		}
+		return sum / stepsPerDay
+	}
+	tropics := avg(spec.Nlat / 2)
+	pole := avg(1)
+	if tropics <= pole {
+		t.Fatalf("tropical column (%g flops) not costlier than polar (%g)", tropics, pole)
+	}
+}
+
+func TestComputeKeepsProfilesBounded(t *testing.T) {
+	spec := grid.TwoByTwoPointFive(9)
+	m := NewModel(spec, stepsPerDay)
+	c := testColumn(spec, 50, 20)
+	for step := 0; step < 500; step++ {
+		m.Compute(c, step)
+	}
+	for k, v := range c.T {
+		if v < 150 || v > 400 {
+			t.Fatalf("T[%d] = %g K after 500 steps", k, v)
+		}
+	}
+	for k, v := range c.Q {
+		if v < 0 || v > 0.05 {
+			t.Fatalf("Q[%d] = %g after 500 steps", k, v)
+		}
+	}
+}
+
+func TestEstimateFlopsDoesNotMutate(t *testing.T) {
+	spec := grid.TwoByTwoPointFive(9)
+	m := NewModel(spec, stepsPerDay)
+	c := testColumn(spec, 45, 3)
+	t0 := append([]float64(nil), c.T...)
+	m.EstimateFlops(c, 5)
+	for k := range t0 {
+		if c.T[k] != t0[k] {
+			t.Fatal("EstimateFlops mutated the column")
+		}
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := map[Scheme]string{None: "none", Shuffle: "shuffle", Greedy: "greedy", Pairwise: "pairwise"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", int(s), s.String(), w)
+		}
+	}
+}
+
+func TestPopTail(t *testing.T) {
+	segs := []segment{{origin: 0, count: 5}, {origin: 1, count: 3}}
+	tail := popTail(&segs, 4)
+	// Takes 3 from origin 1 and 1 from origin 0, preserving held order.
+	if len(tail) != 2 || tail[0].origin != 0 || tail[0].count != 1 ||
+		tail[1].origin != 1 || tail[1].count != 3 {
+		t.Fatalf("tail = %+v", tail)
+	}
+	if len(segs) != 1 || segs[0].count != 4 {
+		t.Fatalf("remaining = %+v", segs)
+	}
+}
+
+// runPhysics integrates `steps` physics steps on a mesh and returns the
+// gathered T field and the sim result.
+func runPhysics(t *testing.T, spec grid.Spec, py, px, steps int,
+	scheme Scheme, rounds int) ([]float64, *sim.Result) {
+	t.Helper()
+	d, err := grid.NewDecomp(spec, py, px)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []float64
+	m := sim.New(py*px, machine.CrayT3D())
+	res, err := m.Run(func(p *sim.Proc) error {
+		world := comm.World(p)
+		cart := comm.NewCart2D(world, py, px)
+		l := grid.NewLocal(d, cart.MyRow, cart.MyCol)
+		T := grid.NewField(l, 1)
+		Q := grid.NewField(l, 1)
+		for j := 0; j < l.Nlat(); j++ {
+			for i := 0; i < l.Nlon(); i++ {
+				ref := testColumn(spec, l.GlobalLat(j), l.GlobalLon(i))
+				copy(T.Column(j, i), ref.T)
+				copy(Q.Column(j, i), ref.Q)
+			}
+		}
+		r := NewRunner(world, cart, l, NewModel(spec, stepsPerDay), scheme, rounds)
+		for n := 0; n < steps; n++ {
+			p.Timed("physics", func() { r.Step(T, Q, n) })
+		}
+		g := grid.Gather(world, cart, T)
+		if world.Rank() == 0 {
+			out = g
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, res
+}
+
+func TestBalancedSchemesPreserveResults(t *testing.T) {
+	// The transparency invariant: moving columns around must not change
+	// the answer, for any scheme on any mesh.
+	spec := grid.Spec{Nlon: 24, Nlat: 16, Nlayers: 4}
+	want, _ := runPhysics(t, spec, 1, 1, 5, None, 1)
+	for _, tc := range []struct {
+		scheme Scheme
+		py, px int
+	}{
+		{None, 2, 2}, {Pairwise, 2, 2}, {Pairwise, 4, 2}, {Pairwise, 4, 3},
+		{Greedy, 2, 3}, {Shuffle, 2, 2},
+	} {
+		name := fmt.Sprintf("%s/%dx%d", tc.scheme, tc.py, tc.px)
+		t.Run(name, func(t *testing.T) {
+			got, _ := runPhysics(t, spec, tc.py, tc.px, 5, tc.scheme, 2)
+			for idx := range want {
+				if math.Abs(got[idx]-want[idx]) > 1e-12 {
+					t.Fatalf("T[%d] = %g, want %g", idx, got[idx], want[idx])
+				}
+			}
+		})
+	}
+}
+
+func TestUnbalancedPhysicsIsImbalanced(t *testing.T) {
+	// The paper measures 35-48% imbalance in the unbalanced Physics.
+	spec := grid.TwoByTwoPointFive(9)
+	_, res := runPhysics(t, spec, 4, 4, 2, None, 1)
+	loads := res.Accounts["physics"]
+	max, sum := 0.0, 0.0
+	for _, v := range loads {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	avg := sum / float64(len(loads))
+	imb := (max - avg) / avg
+	if imb < 0.15 {
+		t.Fatalf("unbalanced physics imbalance only %.1f%%; load model too uniform", imb*100)
+	}
+}
+
+func TestPairwiseBalancingReducesCriticalPath(t *testing.T) {
+	spec := grid.TwoByTwoPointFive(9)
+	const steps = 4
+	_, resNone := runPhysics(t, spec, 4, 4, steps, None, 1)
+	_, resBal := runPhysics(t, spec, 4, 4, steps, Pairwise, 2)
+	tNone := resNone.MaxAccount("physics")
+	tBal := resBal.MaxAccount("physics")
+	if tBal >= tNone {
+		t.Fatalf("pairwise balancing did not help: %.3f s vs %.3f s", tBal, tNone)
+	}
+}
+
+func TestRunnerDeterministic(t *testing.T) {
+	spec := grid.Spec{Nlon: 24, Nlat: 16, Nlayers: 3}
+	a, ra := runPhysics(t, spec, 2, 2, 4, Pairwise, 2)
+	b, rb := runPhysics(t, spec, 2, 2, 4, Pairwise, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("results differ across identical runs")
+		}
+	}
+	for r := range ra.Clocks {
+		if ra.Clocks[r] != rb.Clocks[r] {
+			t.Fatal("clocks differ across identical runs")
+		}
+	}
+}
+
+func TestPairwiseAbsorbsDegradedNode(t *testing.T) {
+	// Hardware heterogeneity: one node runs 3x slower.  The balancer
+	// only sees per-rank times, so it should move columns off the slow
+	// node exactly as it moves them off physics hot spots.
+	spec := grid.TwoByTwoPointFive(9)
+	const py, px, steps = 4, 4, 4
+	run := func(scheme Scheme) *sim.Result {
+		d, _ := grid.NewDecomp(spec, py, px)
+		models := make([]sim.CostModel, py*px)
+		for i := range models {
+			models[i] = machine.CrayT3D()
+		}
+		models[5] = machine.Degraded(machine.CrayT3D(), 3)
+		m := sim.NewHeterogeneous(models)
+		res, err := m.Run(func(p *sim.Proc) error {
+			world := comm.World(p)
+			cart := comm.NewCart2D(world, py, px)
+			l := grid.NewLocal(d, cart.MyRow, cart.MyCol)
+			T := grid.NewField(l, 1)
+			Q := grid.NewField(l, 1)
+			for j := 0; j < l.Nlat(); j++ {
+				for i := 0; i < l.Nlon(); i++ {
+					ref := testColumn(spec, l.GlobalLat(j), l.GlobalLon(i))
+					copy(T.Column(j, i), ref.T)
+					copy(Q.Column(j, i), ref.Q)
+				}
+			}
+			r := NewRunner(world, cart, l, NewModel(spec, stepsPerDay), scheme, 2)
+			for n := 0; n < steps; n++ {
+				p.Timed("physics", func() { r.Step(T, Q, n) })
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	unbal := run(None).MaxAccount("physics")
+	bal := run(Pairwise).MaxAccount("physics")
+	if bal >= 0.85*unbal {
+		t.Fatalf("balancer did not absorb the slow node: %.4f s vs %.4f s unbalanced", bal, unbal)
+	}
+}
+
+func TestColumnPackUnpackRoundTrip(t *testing.T) {
+	spec := grid.Spec{Nlon: 8, Nlat: 8, Nlayers: 3}
+	d, _ := grid.NewDecomp(spec, 1, 1)
+	m := sim.New(1, machine.Paragon())
+	_, err := m.Run(func(p *sim.Proc) error {
+		world := comm.World(p)
+		cart := comm.NewCart2D(world, 1, 1)
+		l := grid.NewLocal(d, 0, 0)
+		r := NewRunner(world, cart, l, NewModel(spec, stepsPerDay), Pairwise, 2)
+		orig := []*Column{testColumn(spec, 2, 3), testColumn(spec, 5, 1)}
+		orig[0].Origin, orig[0].Index = 0, 19
+		orig[1].Origin, orig[1].Index = 0, 41
+		got := r.unpackInputs(r.packInputs(orig))
+		if len(got) != 2 {
+			return fmt.Errorf("got %d columns", len(got))
+		}
+		for ci := range orig {
+			o, g := orig[ci], got[ci]
+			if o.J != g.J || o.I != g.I || o.Origin != g.Origin || o.Index != g.Index {
+				return fmt.Errorf("metadata mismatch: %+v vs %+v", o, g)
+			}
+			for k := range o.T {
+				if o.T[k] != g.T[k] || o.Q[k] != g.Q[k] {
+					return fmt.Errorf("profile mismatch at %d", k)
+				}
+			}
+		}
+		// Results round trip.
+		got[0].T[0] = 999
+		cols := make([]*Column, 64)
+		cols[19], cols[41] = orig[0], orig[1]
+		r.unpackResults(r.packResults(got), cols)
+		if cols[19].T[0] != 999 {
+			return fmt.Errorf("result not applied")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,437 @@
+// Package sim implements a deterministic virtual-time simulator for a
+// distributed-memory message-passing machine.
+//
+// The simulator plays the role of the Intel Paragon and Cray T3D systems used
+// in the paper: every simulated processor (rank) runs as its own goroutine
+// and owns a virtual clock measured in seconds.  Computation advances the
+// local clock through a CostModel; messages carry the sender's clock and the
+// receiver's clock is advanced to the message arrival time on receipt.  The
+// result is a LogGP-flavoured performance simulation in which load imbalance,
+// message latency and bandwidth effects emerge from the actual algorithm and
+// the actual data being moved, not from closed-form formulas.
+//
+// Virtual time never depends on wall-clock time or on the Go scheduler:
+// messages are matched by (source, tag) in FIFO order, so any program that is
+// deterministic per rank produces bit-identical clocks on every run.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// CostModel translates abstract work (floating point operations, memory
+// traffic, message bytes) into virtual seconds.  Implementations live in
+// package machine; sim only consumes the interface.
+type CostModel interface {
+	// FlopSeconds returns the virtual time to execute n floating point
+	// operations out of registers/cache.
+	FlopSeconds(n float64) float64
+	// MemSeconds returns the virtual time attributable to moving n bytes
+	// between memory and the processor (the cache-miss cost component).
+	MemSeconds(n float64) float64
+	// SendOverheadSeconds is the CPU occupancy on the sender per message.
+	SendOverheadSeconds(bytes int) float64
+	// RecvOverheadSeconds is the CPU occupancy on the receiver per message.
+	RecvOverheadSeconds(bytes int) float64
+	// NetworkSeconds is the in-flight time of a message: latency plus
+	// serialization at the network bandwidth.
+	NetworkSeconds(bytes int) float64
+}
+
+// message is an in-flight point-to-point message.
+type message struct {
+	source  int
+	tag     int
+	payload any
+	bytes   int
+	arrive  float64 // virtual arrival time at the receiver
+	seq     int64   // per-sender sequence number, for event logging
+}
+
+// key identifies a message queue: messages are matched by source and tag.
+type key struct {
+	source int
+	tag    int
+}
+
+// mailbox is the receive side of one rank.  All ranks may post into it
+// concurrently, so it is guarded by a mutex + cond.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[key][]*message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{queues: make(map[key][]*message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) post(m *message) {
+	mb.mu.Lock()
+	k := key{m.source, m.tag}
+	mb.queues[k] = append(mb.queues[k], m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) take(source, tag int) *message {
+	k := key{source, tag}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if q := mb.queues[k]; len(q) > 0 {
+			m := q[0]
+			if len(q) == 1 {
+				delete(mb.queues, k)
+			} else {
+				mb.queues[k] = q[1:]
+			}
+			return m
+		}
+		if mb.closed {
+			return nil
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// Machine is a simulated distributed-memory computer with a fixed number of
+// ranks, each with its own CostModel (normally all the same).
+type Machine struct {
+	n         int
+	models    []CostModel
+	boxes     []*mailbox
+	logEvents bool
+}
+
+// New creates a machine with n identical ranks.  It panics if n < 1 or
+// model is nil, since both indicate a programming error rather than a
+// runtime condition.
+func New(n int, model CostModel) *Machine {
+	if model == nil {
+		panic("sim: nil cost model")
+	}
+	models := make([]CostModel, n)
+	for i := range models {
+		models[i] = model
+	}
+	return NewHeterogeneous(models)
+}
+
+// NewHeterogeneous creates a machine whose ranks have individual cost
+// models — e.g. one degraded node among healthy ones, the scenario an
+// estimate-driven load balancer must absorb.  Message in-flight times use
+// the sender's network model.
+func NewHeterogeneous(models []CostModel) *Machine {
+	if len(models) < 1 {
+		panic("sim: machine must have at least 1 rank")
+	}
+	for i, mod := range models {
+		if mod == nil {
+			panic(fmt.Sprintf("sim: nil cost model for rank %d", i))
+		}
+	}
+	m := &Machine{n: len(models), models: models}
+	m.boxes = make([]*mailbox, m.n)
+	for i := range m.boxes {
+		m.boxes[i] = newMailbox()
+	}
+	return m
+}
+
+// Ranks returns the number of ranks in the machine.
+func (m *Machine) Ranks() int { return m.n }
+
+// Result captures the outcome of one Run: the final virtual clock of each
+// rank, per-category accounted time, and communication statistics.
+type Result struct {
+	// Clocks holds each rank's virtual clock at program exit, in seconds.
+	Clocks []float64
+	// Accounts maps a timing category (e.g. "filter", "physics") to the
+	// per-rank virtual seconds accounted to that category.
+	Accounts map[string][]float64
+	// MessagesSent and BytesSent hold each rank's point-to-point
+	// traffic — the quantities the paper's algorithm analysis counts
+	// (P*logP messages for the ring, O(N*P) volume, and so on).
+	MessagesSent []int64
+	BytesSent    []int64
+	// WaitSeconds is the virtual time each rank spent blocked in Recv
+	// waiting for messages that had not yet arrived: the sum of
+	// communication latency and load-imbalance idling.
+	WaitSeconds []float64
+	// Events holds each rank's event log when EnableEventLog was set
+	// before Run (nil otherwise).
+	Events [][]Event
+}
+
+// TotalMessages returns the machine-wide message count.
+func (r *Result) TotalMessages() int64 {
+	var n int64
+	for _, v := range r.MessagesSent {
+		n += v
+	}
+	return n
+}
+
+// TotalBytes returns the machine-wide bytes sent.
+func (r *Result) TotalBytes() int64 {
+	var n int64
+	for _, v := range r.BytesSent {
+		n += v
+	}
+	return n
+}
+
+// MaxClock returns the latest rank clock — the parallel execution time.
+func (r *Result) MaxClock() float64 {
+	max := 0.0
+	for _, c := range r.Clocks {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// MaxAccount returns the maximum per-rank time accounted to category, which
+// is the category's contribution to the critical path under a bulk-
+// synchronous execution.
+func (r *Result) MaxAccount(category string) float64 {
+	max := 0.0
+	for _, c := range r.Accounts[category] {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// SumAccount returns the total time across ranks accounted to category.
+func (r *Result) SumAccount(category string) float64 {
+	sum := 0.0
+	for _, c := range r.Accounts[category] {
+		sum += c
+	}
+	return sum
+}
+
+// Categories returns the sorted list of accounted categories.
+func (r *Result) Categories() []string {
+	cats := make([]string, 0, len(r.Accounts))
+	for c := range r.Accounts {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	return cats
+}
+
+// Run executes body once per rank, each in its own goroutine, and blocks
+// until every rank returns.  The returned Result holds the final clocks.
+// If any rank returns an error or panics, Run reports the first error by
+// rank order (panics are wrapped).
+func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
+	procs := make([]*Proc, m.n)
+	errs := make([]error, m.n)
+	var wg sync.WaitGroup
+	for r := 0; r < m.n; r++ {
+		procs[r] = &Proc{
+			rank:     r,
+			machine:  m,
+			accounts: make(map[string]float64),
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[r] = fmt.Errorf("sim: rank %d panicked: %v", r, rec)
+					// Unblock any rank waiting on a message that
+					// will now never come.
+					for _, b := range m.boxes {
+						b.close()
+					}
+				}
+			}()
+			errs[r] = body(procs[r])
+		}(r)
+	}
+	wg.Wait()
+	res := &Result{
+		Clocks:       make([]float64, m.n),
+		Accounts:     make(map[string][]float64),
+		MessagesSent: make([]int64, m.n),
+		BytesSent:    make([]int64, m.n),
+		WaitSeconds:  make([]float64, m.n),
+	}
+	if m.logEvents {
+		res.Events = make([][]Event, m.n)
+	}
+	for r, p := range procs {
+		res.Clocks[r] = p.clock
+		res.MessagesSent[r] = p.messagesSent
+		res.BytesSent[r] = p.bytesSent
+		res.WaitSeconds[r] = p.waitSeconds
+		if m.logEvents {
+			res.Events[r] = p.events
+		}
+		for cat, t := range p.accounts {
+			if _, ok := res.Accounts[cat]; !ok {
+				res.Accounts[cat] = make([]float64, m.n)
+			}
+			res.Accounts[cat][r] = t
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Proc is one simulated processor.  All methods must be called only from the
+// goroutine running that rank's body.
+type Proc struct {
+	rank         int
+	machine      *Machine
+	clock        float64
+	accounts     map[string]float64
+	messagesSent int64
+	bytesSent    int64
+	waitSeconds  float64
+	events       []Event
+}
+
+// WaitSeconds returns the virtual time this rank has spent blocked on
+// not-yet-arrived messages.
+func (p *Proc) WaitSeconds() float64 { return p.waitSeconds }
+
+// MessagesSent returns the number of point-to-point messages this rank has
+// sent so far (self-sends included).
+func (p *Proc) MessagesSent() int64 { return p.messagesSent }
+
+// BytesSent returns the total payload bytes this rank has sent so far.
+func (p *Proc) BytesSent() int64 { return p.bytesSent }
+
+// Rank returns this processor's rank in [0, Ranks).
+func (p *Proc) Rank() int { return p.rank }
+
+// Ranks returns the machine size.
+func (p *Proc) Ranks() int { return p.machine.n }
+
+// Model returns this rank's cost model.
+func (p *Proc) Model() CostModel { return p.machine.models[p.rank] }
+
+// Clock returns the current virtual time of this rank in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Compute advances the clock by the cost of flops floating point operations.
+func (p *Proc) Compute(flops float64) {
+	p.clock += p.machine.models[p.rank].FlopSeconds(flops)
+}
+
+// ComputeMem advances the clock by the cost of flops operations plus
+// memBytes of memory traffic.  Use this for kernels whose cost is dominated
+// by cache behaviour rather than arithmetic.
+func (p *Proc) ComputeMem(flops, memBytes float64) {
+	p.clock += p.machine.models[p.rank].FlopSeconds(flops) + p.machine.models[p.rank].MemSeconds(memBytes)
+}
+
+// Elapse advances the clock by a raw number of virtual seconds.
+func (p *Proc) Elapse(seconds float64) {
+	if seconds < 0 {
+		panic(fmt.Sprintf("sim: rank %d elapsed negative time %g", p.rank, seconds))
+	}
+	p.clock += seconds
+}
+
+// Send transmits payload to rank dst with the given tag.  bytes is the wire
+// size used for timing.  Send is eager and asynchronous: it costs the sender
+// only the send overhead.  Payloads are passed by reference; senders must
+// not mutate a payload after sending it.
+func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	if dst < 0 || dst >= p.machine.n {
+		panic(fmt.Sprintf("sim: rank %d send to invalid rank %d", p.rank, dst))
+	}
+	p.messagesSent++
+	p.bytesSent += int64(bytes)
+	seq := p.messagesSent
+	if dst == p.rank {
+		// Self-sends are legal and cost only the overheads, not the wire.
+		p.clock += p.machine.models[p.rank].SendOverheadSeconds(bytes)
+		p.logSend(dst, bytes, p.clock, seq)
+		p.machine.boxes[dst].post(&message{
+			source: p.rank, tag: tag, payload: payload, bytes: bytes,
+			arrive: p.clock, seq: seq,
+		})
+		return
+	}
+	p.clock += p.machine.models[p.rank].SendOverheadSeconds(bytes)
+	p.logSend(dst, bytes, p.clock, seq)
+	p.machine.boxes[dst].post(&message{
+		source:  p.rank,
+		tag:     tag,
+		payload: payload,
+		bytes:   bytes,
+		arrive:  p.clock + p.machine.models[p.rank].NetworkSeconds(bytes),
+		seq:     seq,
+	})
+}
+
+// Recv blocks until a message from rank src with the given tag arrives, then
+// returns its payload.  The local clock advances to at least the message's
+// arrival time plus the receive overhead.
+func (p *Proc) Recv(src, tag int) any {
+	if src < 0 || src >= p.machine.n {
+		panic(fmt.Sprintf("sim: rank %d recv from invalid rank %d", p.rank, src))
+	}
+	m := p.machine.boxes[p.rank].take(src, tag)
+	if m == nil {
+		panic(fmt.Sprintf("sim: rank %d recv aborted (machine shut down)", p.rank))
+	}
+	waitedFrom := p.clock
+	if m.arrive > p.clock {
+		p.waitSeconds += m.arrive - p.clock
+		p.clock = m.arrive
+	}
+	p.clock += p.machine.models[p.rank].RecvOverheadSeconds(m.bytes)
+	p.logRecv(m.source, m.bytes, waitedFrom, p.clock, m.seq)
+	return m.payload
+}
+
+// RecvFloat64s receives and type-asserts a []float64 payload.
+func (p *Proc) RecvFloat64s(src, tag int) []float64 {
+	return p.Recv(src, tag).([]float64)
+}
+
+// Account attributes seconds of already-elapsed virtual time to a named
+// category for later reporting.  Accounting is bookkeeping only; it does not
+// advance the clock.
+func (p *Proc) Account(category string, seconds float64) {
+	p.accounts[category] += seconds
+}
+
+// Timed runs fn and accounts the virtual time it consumed to category.
+func (p *Proc) Timed(category string, fn func()) {
+	start := p.clock
+	fn()
+	p.accounts[category] += p.clock - start
+	p.logSpan(category, start, p.clock)
+}
+
+// Accounted returns the virtual seconds accounted so far to category.
+func (p *Proc) Accounted(category string) float64 {
+	return p.accounts[category]
+}

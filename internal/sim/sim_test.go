@@ -1,0 +1,346 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// testModel is a simple cost model with unit-friendly constants.
+type testModel struct {
+	flop, mem, so, ro, lat, byteTime float64
+}
+
+func (m *testModel) FlopSeconds(n float64) float64         { return n * m.flop }
+func (m *testModel) MemSeconds(n float64) float64          { return n * m.mem }
+func (m *testModel) SendOverheadSeconds(bytes int) float64 { return m.so }
+func (m *testModel) RecvOverheadSeconds(bytes int) float64 { return m.ro }
+func (m *testModel) NetworkSeconds(bytes int) float64      { return m.lat + float64(bytes)*m.byteTime }
+
+func newTestModel() *testModel {
+	return &testModel{flop: 1e-6, mem: 1e-8, so: 1e-5, ro: 1e-5, lat: 1e-4, byteTime: 1e-7}
+}
+
+func TestMachineRanks(t *testing.T) {
+	m := New(4, newTestModel())
+	if got := m.Ranks(); got != 4 {
+		t.Fatalf("Ranks() = %d, want 4", got)
+	}
+}
+
+func TestNewPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New(0, model) did not panic")
+		}
+	}()
+	New(0, newTestModel())
+}
+
+func TestNewPanicsOnNilModel(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New(1, nil) did not panic")
+		}
+	}()
+	New(1, nil)
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	m := New(1, newTestModel())
+	res, err := m.Run(func(p *Proc) error {
+		p.Compute(1000)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000 * 1e-6
+	if got := res.Clocks[0]; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("clock = %g, want %g", got, want)
+	}
+}
+
+func TestComputeMemAddsBothTerms(t *testing.T) {
+	m := New(1, newTestModel())
+	res, _ := m.Run(func(p *Proc) error {
+		p.ComputeMem(100, 200)
+		return nil
+	})
+	want := 100*1e-6 + 200*1e-8
+	if got := res.Clocks[0]; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("clock = %g, want %g", got, want)
+	}
+}
+
+func TestElapseNegativePanics(t *testing.T) {
+	m := New(1, newTestModel())
+	_, err := m.Run(func(p *Proc) error {
+		p.Elapse(-1)
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("Elapse(-1) did not produce an error")
+	}
+}
+
+func TestSendRecvClockPropagation(t *testing.T) {
+	model := newTestModel()
+	m := New(2, model)
+	const bytes = 800
+	res, err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Compute(5000) // 5 ms of work before sending
+			p.Send(1, 7, []float64{1, 2, 3}, bytes)
+		} else {
+			got := p.RecvFloat64s(0, 7)
+			if len(got) != 3 || got[2] != 3 {
+				return fmt.Errorf("bad payload %v", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sender: compute + send overhead.
+	wantSender := 5000*model.flop + model.so
+	if got := res.Clocks[0]; math.Abs(got-wantSender) > 1e-15 {
+		t.Fatalf("sender clock = %g, want %g", got, wantSender)
+	}
+	// Receiver: idle until arrival, then recv overhead.
+	wantRecv := wantSender + model.lat + bytes*model.byteTime + model.ro
+	if got := res.Clocks[1]; math.Abs(got-wantRecv) > 1e-14 {
+		t.Fatalf("receiver clock = %g, want %g", got, wantRecv)
+	}
+}
+
+func TestRecvDoesNotRewindClock(t *testing.T) {
+	model := newTestModel()
+	m := New(2, model)
+	res, err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 1, []float64{42}, 8)
+		} else {
+			p.Compute(1e6) // 1 virtual second: message arrives long before
+			p.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1e6*model.flop + model.ro
+	if got := res.Clocks[1]; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("receiver clock = %g, want %g (recv must not rewind)", got, want)
+	}
+}
+
+func TestMessagesMatchedBySourceAndTagFIFO(t *testing.T) {
+	m := New(3, newTestModel())
+	_, err := m.Run(func(p *Proc) error {
+		switch p.Rank() {
+		case 0:
+			p.Send(2, 5, []float64{10}, 8)
+			p.Send(2, 5, []float64{11}, 8)
+			p.Send(2, 6, []float64{12}, 8)
+		case 1:
+			p.Send(2, 5, []float64{20}, 8)
+		case 2:
+			// Receive out of arrival order on purpose: tag 6 first.
+			if v := p.RecvFloat64s(0, 6)[0]; v != 12 {
+				return fmt.Errorf("tag 6 got %v, want 12", v)
+			}
+			if v := p.RecvFloat64s(1, 5)[0]; v != 20 {
+				return fmt.Errorf("src 1 got %v, want 20", v)
+			}
+			if v := p.RecvFloat64s(0, 5)[0]; v != 10 {
+				return fmt.Errorf("first src-0 tag-5 got %v, want 10 (FIFO)", v)
+			}
+			if v := p.RecvFloat64s(0, 5)[0]; v != 11 {
+				return fmt.Errorf("second src-0 tag-5 got %v, want 11 (FIFO)", v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	m := New(1, newTestModel())
+	_, err := m.Run(func(p *Proc) error {
+		p.Send(0, 3, []float64{7}, 8)
+		if v := p.RecvFloat64s(0, 3)[0]; v != 7 {
+			return fmt.Errorf("self-send payload %v, want 7", v)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRankPanicsIntoError(t *testing.T) {
+	m := New(2, newTestModel())
+	_, err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(5, 0, nil, 0)
+		} else {
+			p.Recv(0, 0) // will be unblocked by shutdown
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("send to invalid rank did not produce an error")
+	}
+}
+
+func TestRunCollectsBodyError(t *testing.T) {
+	m := New(3, newTestModel())
+	sentinel := errors.New("boom")
+	_, err := m.Run(func(p *Proc) error {
+		if p.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+}
+
+func TestPanicInOneRankUnblocksOthers(t *testing.T) {
+	m := New(2, newTestModel())
+	_, err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			panic("deliberate")
+		}
+		p.Recv(0, 9) // never sent; must be released by shutdown
+		return nil
+	})
+	if err == nil {
+		t.Fatalf("expected error from panicking rank")
+	}
+}
+
+func TestDeterministicClocksAcrossRuns(t *testing.T) {
+	run := func() []float64 {
+		m := New(8, newTestModel())
+		res, err := m.Run(func(p *Proc) error {
+			// Irregular per-rank work plus a ring shift.
+			p.Compute(float64(1000 * (p.Rank()%3 + 1)))
+			next := (p.Rank() + 1) % p.Ranks()
+			prev := (p.Rank() + p.Ranks() - 1) % p.Ranks()
+			p.Send(next, 0, []float64{float64(p.Rank())}, 8)
+			p.Recv(prev, 0)
+			p.Compute(500)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Clocks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d clock differs across runs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := New(2, newTestModel())
+	res, err := m.Run(func(p *Proc) error {
+		p.Timed("dynamics", func() { p.Compute(1000) })
+		p.Timed("physics", func() { p.Compute(float64(2000 * (p.Rank() + 1))) })
+		p.Account("extra", 0.5)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Accounts["dynamics"][0], 1000*1e-6; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("dynamics[0] = %g, want %g", got, want)
+	}
+	if got, want := res.MaxAccount("physics"), 4000*1e-6; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("MaxAccount(physics) = %g, want %g", got, want)
+	}
+	if got, want := res.SumAccount("physics"), 6000*1e-6; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("SumAccount(physics) = %g, want %g", got, want)
+	}
+	if got, want := res.SumAccount("extra"), 1.0; got != want {
+		t.Fatalf("SumAccount(extra) = %g, want %g", got, want)
+	}
+	cats := res.Categories()
+	if len(cats) != 3 || cats[0] != "dynamics" || cats[1] != "extra" || cats[2] != "physics" {
+		t.Fatalf("Categories() = %v, want sorted [dynamics extra physics]", cats)
+	}
+}
+
+func TestMaxClock(t *testing.T) {
+	r := &Result{Clocks: []float64{1.5, 3.25, 2.0}}
+	if got := r.MaxClock(); got != 3.25 {
+		t.Fatalf("MaxClock = %g, want 3.25", got)
+	}
+}
+
+func TestAllRanksActuallyRun(t *testing.T) {
+	var count atomic.Int64
+	m := New(17, newTestModel())
+	if _, err := m.Run(func(p *Proc) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 17 {
+		t.Fatalf("ran %d ranks, want 17", count.Load())
+	}
+}
+
+func TestMessageStatistics(t *testing.T) {
+	m := New(3, newTestModel())
+	res, err := m.Run(func(p *Proc) error {
+		if p.Rank() == 0 {
+			p.Send(1, 0, []float64{1, 2}, 16)
+			p.Send(2, 0, []float64{1}, 8)
+			if p.MessagesSent() != 2 || p.BytesSent() != 24 {
+				return fmt.Errorf("rank 0 stats %d/%d", p.MessagesSent(), p.BytesSent())
+			}
+		} else {
+			p.Recv(0, 0)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MessagesSent[0] != 2 || res.BytesSent[0] != 24 {
+		t.Fatalf("result stats %v %v", res.MessagesSent, res.BytesSent)
+	}
+	if res.TotalMessages() != 2 || res.TotalBytes() != 24 {
+		t.Fatalf("totals %d %d", res.TotalMessages(), res.TotalBytes())
+	}
+}
+
+func TestAccountedGetter(t *testing.T) {
+	m := New(1, newTestModel())
+	_, err := m.Run(func(p *Proc) error {
+		p.Timed("x", func() { p.Compute(100) })
+		if got := p.Accounted("x"); math.Abs(got-100e-6) > 1e-15 {
+			return fmt.Errorf("Accounted(x) = %g, want 1e-4", got)
+		}
+		if got := p.Accounted("missing"); got != 0 {
+			return fmt.Errorf("Accounted(missing) = %g, want 0", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

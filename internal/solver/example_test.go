@@ -1,0 +1,45 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"agcm/internal/solver"
+)
+
+// Tridiag solves a diagonally dominant tridiagonal system with the Thomas
+// algorithm — the kernel behind implicit vertical diffusion in a column.
+func ExampleTridiag() {
+	// (I + 2k)x_i - k x_{i-1} - k x_{i+1} = d with k = 1.
+	a := []float64{0, -1, -1, -1}
+	b := []float64{2, 3, 3, 2}
+	c := []float64{-1, -1, -1, 0}
+	d := []float64{1, 0, 0, 1}
+	x := make([]float64, 4)
+	if err := solver.Tridiag(a, b, c, d, x); err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.4f\n", x)
+	// Output:
+	// [0.6667 0.3333 0.3333 0.6667]
+}
+
+// PeriodicTridiag handles the wrap-around coupling of a latitude circle.
+func ExamplePeriodicTridiag() {
+	n := 4
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	d := make([]float64, n)
+	for i := range b {
+		a[i], b[i], c[i] = -1, 3, -1
+		d[i] = float64(i + 1)
+	}
+	x := make([]float64, n)
+	if err := solver.PeriodicTridiag(a, b, c, d, x); err != nil {
+		panic(err)
+	}
+	// Verify: residual of row 2 (0-indexed): -x[1] + 3x[2] - x[3] = 3.
+	fmt.Printf("residual row 2: %.6f\n", -x[1]+3*x[2]-x[3])
+	// Output:
+	// residual row 2: 3.000000
+}

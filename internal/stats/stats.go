@@ -1,0 +1,145 @@
+// Package stats provides the timing bookkeeping and fixed-width table
+// rendering used to reproduce the paper's tables: speedup and parallel
+// efficiency calculations, the paper's load-imbalance percentage, and plain
+// text tables in the style of Tables 1-11.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Speedup returns t1/tp, the paper's definition relative to the 1x1 run.
+func Speedup(t1, tp float64) float64 {
+	if tp == 0 {
+		return 0
+	}
+	return t1 / tp
+}
+
+// Efficiency returns the parallel efficiency of running on p processors.
+func Efficiency(t1, tp float64, p int) float64 {
+	if p == 0 {
+		return 0
+	}
+	return Speedup(t1, tp) / float64(p)
+}
+
+// Table is a fixed-width plain-text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render returns the table as aligned plain text.
+func (t *Table) Render() string {
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	widths := make([]int, ncol)
+	measure := func(cells []string) {
+		for i, c := range cells {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		// Trim trailing padding.
+		s := b.String()
+		trimmed := strings.TrimRight(s, " ")
+		b.Reset()
+		b.WriteString(trimmed)
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for i, w := range widths {
+			total += w
+			if i > 0 {
+				total += 2
+			}
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV returns the table as RFC-4180 comma-separated values (header first,
+// no title), for plotting pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			b.WriteString(c)
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Seconds formats a duration in seconds with sensible precision for the
+// paper-style tables.
+func Seconds(v float64) string {
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// Percent formats a fraction as a percentage.
+func Percent(frac float64) string {
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Ratio formats a speedup factor.
+func Ratio(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if got := Speedup(100, 10); got != 10 {
+		t.Errorf("Speedup = %g", got)
+	}
+	if got := Speedup(100, 0); got != 0 {
+		t.Errorf("Speedup with zero time = %g", got)
+	}
+	if got := Efficiency(100, 10, 20); got != 0.5 {
+		t.Errorf("Efficiency = %g", got)
+	}
+	if got := Efficiency(1, 1, 0); got != 0 {
+		t.Errorf("Efficiency p=0 = %g", got)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "Table 1: demo",
+		Header: []string{"Node mesh", "Dynamics", "Speed-up"},
+	}
+	tbl.AddRow("1 x 1", "8702", "1.0")
+	tbl.AddRow("8 x 30", "186", "46.8")
+	out := tbl.Render()
+	if !strings.Contains(out, "Table 1: demo") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Node mesh  Dynamics  Speed-up") {
+		t.Errorf("misaligned header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: "8702" starts at the same offset as "186"'s column.
+	if !strings.Contains(out, "8 x 30     186") {
+		t.Errorf("row misaligned:\n%s", out)
+	}
+}
+
+func TestTableRenderNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.AddRow("a", "b")
+	out := tbl.Render()
+	if strings.Contains(out, "-") {
+		t.Errorf("rule printed without header:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{Header: []string{"mesh", "time"}}
+	tbl.AddRow("1 x 1", "8702")
+	tbl.AddRow(`quoted "x"`, "a,b")
+	got := tbl.CSV()
+	want := "mesh,time\n1 x 1,8702\n\"quoted \"\"x\"\"\",\"a,b\"\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Seconds(8702.3); got != "8702" {
+		t.Errorf("Seconds(8702.3) = %q", got)
+	}
+	if got := Seconds(87.25); got != "87.2" {
+		t.Errorf("Seconds(87.25) = %q", got)
+	}
+	if got := Seconds(7.4); got != "7.40" {
+		t.Errorf("Seconds(7.4) = %q", got)
+	}
+	if got := Percent(0.37); got != "37.0%" {
+		t.Errorf("Percent = %q", got)
+	}
+	if got := Ratio(46.83); got != "46.8" {
+		t.Errorf("Ratio = %q", got)
+	}
+}

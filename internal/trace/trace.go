@@ -1,0 +1,223 @@
+// Package trace renders performance-analysis views of a simulated run:
+// per-rank utilization profiles and an ASCII timeline in the spirit of the
+// tools the paper's authors used to find the filtering bottleneck.  It
+// consumes the per-category accounts and communication counters the sim
+// package collects, so tracing costs nothing extra at run time.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"agcm/internal/sim"
+)
+
+// Profile summarizes one rank's time breakdown over a run.
+type Profile struct {
+	Rank int
+	// Busy maps category to accounted seconds.
+	Busy map[string]float64
+	// Wait is the time blocked on unarrived messages.
+	Wait float64
+	// Clock is the rank's final virtual time.
+	Clock float64
+	// Messages and Bytes are the rank's send-side traffic.
+	Messages int64
+	Bytes    int64
+}
+
+// Other returns clock time not covered by accounted categories or waiting:
+// untimed compute and send/recv overheads outside Timed sections.
+func (p Profile) Other() float64 {
+	t := p.Clock - p.Wait
+	for _, v := range p.Busy {
+		t -= v
+	}
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// Profiles extracts one Profile per rank from a sim result.
+//
+// Note: the per-category accounts include any wait time spent inside their
+// Timed sections, so Wait (measured at Recv) can overlap them; Other
+// therefore underestimates when categories wait internally.  For the AGCM
+// the step structure puts almost all waiting inside accounted sections,
+// which is exactly what the utilization view should show.
+func Profiles(res *sim.Result) []Profile {
+	n := len(res.Clocks)
+	out := make([]Profile, n)
+	for r := 0; r < n; r++ {
+		busy := make(map[string]float64)
+		for cat, perRank := range res.Accounts {
+			busy[cat] = perRank[r]
+		}
+		out[r] = Profile{
+			Rank:     r,
+			Busy:     busy,
+			Wait:     res.WaitSeconds[r],
+			Clock:    res.Clocks[r],
+			Messages: res.MessagesSent[r],
+			Bytes:    res.BytesSent[r],
+		}
+	}
+	return out
+}
+
+// UtilizationTable renders a fixed-width per-rank breakdown.  With more
+// than maxRows ranks it shows the first few, the most and least loaded for
+// the given category, and machine-wide totals.
+func UtilizationTable(res *sim.Result, category string, maxRows int) string {
+	profiles := Profiles(res)
+	if maxRows < 3 {
+		maxRows = 3
+	}
+	cats := res.Categories()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s", "rank")
+	for _, c := range cats {
+		fmt.Fprintf(&b, "  %12s", c)
+	}
+	fmt.Fprintf(&b, "  %12s  %12s  %10s\n", "wait", "clock", "msgs")
+
+	writeRow := func(p Profile) {
+		fmt.Fprintf(&b, "%-6d", p.Rank)
+		for _, c := range cats {
+			fmt.Fprintf(&b, "  %12.4f", p.Busy[c])
+		}
+		fmt.Fprintf(&b, "  %12.4f  %12.4f  %10d\n", p.Wait, p.Clock, p.Messages)
+	}
+
+	show := profiles
+	if len(profiles) > maxRows {
+		// First rows plus extremes of the chosen category.
+		sorted := append([]Profile(nil), profiles...)
+		sort.Slice(sorted, func(i, j int) bool {
+			return sorted[i].Busy[category] > sorted[j].Busy[category]
+		})
+		seen := map[int]bool{}
+		show = nil
+		for _, p := range append(profiles[:maxRows-2],
+			sorted[0], sorted[len(sorted)-1]) {
+			if !seen[p.Rank] {
+				show = append(show, p)
+				seen[p.Rank] = true
+			}
+		}
+		sort.Slice(show, func(i, j int) bool { return show[i].Rank < show[j].Rank })
+	}
+	for _, p := range show {
+		writeRow(p)
+	}
+	if len(profiles) > len(show) {
+		fmt.Fprintf(&b, "... (%d of %d ranks shown)\n", len(show), len(profiles))
+	}
+	return b.String()
+}
+
+// Gantt renders an ASCII utilization bar per rank: each bar divides the
+// rank's clock into its category shares (first letter of each category)
+// plus waiting ('.') and other ('-').  width is the bar length in cells.
+// It is a share view, not an event timeline: segment order within the bar
+// is alphabetical, not chronological.
+func Gantt(res *sim.Result, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	profiles := Profiles(res)
+	maxClock := res.MaxClock()
+	if maxClock == 0 {
+		return ""
+	}
+	cats := res.Categories()
+	symbols := assignSymbols(cats)
+	var b strings.Builder
+	fmt.Fprintf(&b, "one cell = %.4g s; ", maxClock/float64(width))
+	for i, c := range cats {
+		fmt.Fprintf(&b, "%c=%s ", symbols[i], c)
+	}
+	b.WriteString(".=wait -=other\n")
+	for _, p := range profiles {
+		fmt.Fprintf(&b, "%4d |", p.Rank)
+		cells := 0
+		total := int(p.Clock / maxClock * float64(width))
+		emit := func(ch byte, seconds float64) {
+			n := int(seconds / maxClock * float64(width))
+			for i := 0; i < n && cells < total; i++ {
+				b.WriteByte(ch)
+				cells++
+			}
+		}
+		for i, c := range cats {
+			emit(symbols[i], p.Busy[c])
+		}
+		emit('.', p.Wait)
+		for cells < total {
+			b.WriteByte('-')
+			cells++
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// assignSymbols gives each category a unique bar character: the first
+// letter of its name not already taken, else a digit.
+func assignSymbols(cats []string) []byte {
+	taken := map[byte]bool{'.': true, '-': true, '|': true}
+	out := make([]byte, len(cats))
+	for i, c := range cats {
+		sym := byte('?')
+		for k := 0; k < len(c); k++ {
+			ch := c[k]
+			if ch != '-' && !taken[ch] {
+				sym = ch
+				break
+			}
+		}
+		if sym == '?' {
+			for d := byte('0'); d <= '9'; d++ {
+				if !taken[d] {
+					sym = d
+					break
+				}
+			}
+		}
+		taken[sym] = true
+		out[i] = sym
+	}
+	return out
+}
+
+// Summary renders machine-wide aggregates: total busy share per category,
+// aggregate wait share, and traffic.
+func Summary(res *sim.Result) string {
+	profiles := Profiles(res)
+	var clockSum, waitSum float64
+	var msgs, bytes int64
+	busy := map[string]float64{}
+	for _, p := range profiles {
+		clockSum += p.Clock
+		waitSum += p.Wait
+		msgs += p.Messages
+		bytes += p.Bytes
+		for c, v := range p.Busy {
+			busy[c] += v
+		}
+	}
+	if clockSum == 0 {
+		return "empty run\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ranks %d, critical path %.4f s\n", len(profiles), res.MaxClock())
+	cats := res.Categories()
+	for _, c := range cats {
+		fmt.Fprintf(&b, "  %-16s %6.1f%% of aggregate time\n", c, 100*busy[c]/clockSum)
+	}
+	fmt.Fprintf(&b, "  %-16s %6.1f%% of aggregate time\n", "wait", 100*waitSum/clockSum)
+	fmt.Fprintf(&b, "  traffic: %d messages, %.2f MB\n", msgs, float64(bytes)/1e6)
+	return b.String()
+}
