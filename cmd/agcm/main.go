@@ -15,6 +15,7 @@ import (
 
 	"agcm/internal/core"
 	"agcm/internal/dynamics"
+	"agcm/internal/fault"
 	"agcm/internal/grid"
 	"agcm/internal/history"
 	"agcm/internal/machine"
@@ -79,6 +80,10 @@ func main() {
 	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON timeline to this path")
 	saveState := flag.String("save-state", "", "write the final model state to this checkpoint file")
 	loadState := flag.String("load-state", "", "restore the initial state from this checkpoint file")
+	faultSpec := flag.String("fault-spec", "",
+		"inject faults, e.g. 'seed=42;slow:rank=3,at=1.5,factor=4;crash:rank=1,at=9;jitter:max=2e-4;drop:prob=0.01,retries=4,timeout=5e-3'")
+	checkpointEvery := flag.Int("checkpoint-every", 0,
+		"checkpoint the model state every N measured steps (0 = off); the last checkpoint survives a crashed run")
 	flag.Parse()
 
 	mach, err := machine.ByName(*machName)
@@ -99,16 +104,25 @@ func main() {
 	}
 
 	cfg := core.Config{
-		Spec:          grid.TwoByTwoPointFive(*layers),
-		Machine:       mach,
-		MeshPy:        py,
-		MeshPx:        px,
-		Filter:        fv,
-		PhysicsScheme: scheme,
-		PhysicsRounds: *rounds,
-		Dt:            *dt,
-		EventLog:      *traceFile != "",
-		CaptureState:  *saveState != "",
+		Spec:            grid.TwoByTwoPointFive(*layers),
+		Machine:         mach,
+		MeshPy:          py,
+		MeshPx:          px,
+		Filter:          fv,
+		PhysicsScheme:   scheme,
+		PhysicsRounds:   *rounds,
+		Dt:              *dt,
+		EventLog:        *traceFile != "",
+		CaptureState:    *saveState != "",
+		CheckpointEvery: *checkpointEvery,
+	}
+	if *faultSpec != "" {
+		spec, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fault = spec
+		fmt.Printf("fault injection active: %s\n", spec)
 	}
 	if *loadState != "" {
 		f, err := os.Open(*loadState)
@@ -127,6 +141,18 @@ func main() {
 	}
 	rep, err := core.Run(cfg, *steps)
 	if err != nil {
+		// A faulted run can still leave usable checkpoints behind; rescue
+		// the last one so the operator can restart with -load-state.
+		if rep != nil && len(rep.Checkpoints) > 0 {
+			last := rep.Checkpoints[len(rep.Checkpoints)-1]
+			fmt.Fprintf(os.Stderr, "agcm: run failed after %d checkpoint(s); last completed at step %d\n",
+				len(rep.Checkpoints), last.Step)
+			if *saveState != "" {
+				writeCheckpoint(*saveState, last)
+				fmt.Fprintf(os.Stderr, "agcm: rescued checkpoint written to %s (restart with -load-state %s)\n",
+					*saveState, *saveState)
+			}
+		}
 		fatal(err)
 	}
 
@@ -159,16 +185,7 @@ func main() {
 		rep.MaxAbsH, dynamics.MeanDepth)
 
 	if *saveState != "" {
-		f, err := os.Create(*saveState)
-		if err != nil {
-			fatal(err)
-		}
-		if err := history.Write(f, rep.FinalState, history.BigEndian); err != nil {
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
+		writeCheckpoint(*saveState, rep.FinalState)
 		fmt.Printf("\nwrote checkpoint to %s (step %d)\n", *saveState, rep.FinalState.Step)
 	}
 
@@ -194,6 +211,19 @@ func main() {
 		fmt.Print(trace.UtilizationTable(rep.Raw, "physics", 12))
 		fmt.Println("\nUtilization shares (not chronological):")
 		fmt.Print(trace.Gantt(rep.Raw, 72))
+	}
+}
+
+func writeCheckpoint(path string, file *history.File) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := history.Write(f, file, history.BigEndian); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
 	}
 }
 

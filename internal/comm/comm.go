@@ -22,7 +22,9 @@ const bytesPerFloat = 8
 // collectives use tags near the top of the space.
 const tagSpace = 1 << 16
 
-// Reserved collective tags within a context's tag space.
+// Reserved collective tags within a context's tag space.  User tags must
+// stay below maxUserTag (checkUserTag enforces this with a panic) so user
+// traffic can never collide with collective traffic.
 const (
 	tagBarrier = tagSpace - 1 - iota
 	tagBcast
@@ -31,8 +33,18 @@ const (
 	tagScatter
 	tagAlltoall
 	tagShift
+	// tagGatherData carries Gatherv/Scatterv payloads.  It used to live at
+	// maxUserTag-1 *inside* the user range, where a user message with the
+	// same tag silently interleaved with collective payloads.
+	tagGatherData
 	maxUserTag = tagSpace - 64
 )
+
+// Compile-time guard: the lowest reserved collective tag must stay strictly
+// above the user range, or checkUserTag's bound would no longer protect the
+// collectives.  Adding too many reserved tags makes this constant negative,
+// which fails to compile.
+const _ = uint64(tagGatherData - maxUserTag - 1)
 
 // Comm is a communicator: an ordered group of world ranks with a private tag
 // context, analogous to an MPI communicator.
@@ -154,7 +166,9 @@ func (c *Comm) RecvInts(src, tag int) []int {
 
 func (c *Comm) checkUserTag(tag int) {
 	if tag < 0 || tag >= maxUserTag {
-		panic(fmt.Sprintf("comm: user tag %d out of range [0,%d)", tag, maxUserTag))
+		panic(fmt.Sprintf(
+			"comm: user tag %d outside [0,%d): tags %d..%d are reserved for collective traffic (barrier/bcast/reduce/gather/alltoall)",
+			tag, maxUserTag, maxUserTag, tagSpace-1))
 	}
 }
 
@@ -311,7 +325,7 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 // slice per rank in comm rank order.  Non-roots return nil.
 func (c *Comm) Gatherv(root int, data []float64) [][]float64 {
 	if c.me != root {
-		c.Send(root, tagGatherUser, data)
+		c.p.Send(c.WorldRank(root), c.tag(tagGatherData), data, len(data)*bytesPerFloat)
 		return nil
 	}
 	parts := make([][]float64, len(c.world))
@@ -320,14 +334,10 @@ func (c *Comm) Gatherv(root int, data []float64) [][]float64 {
 			parts[r] = data
 			continue
 		}
-		parts[r] = c.Recv(r, tagGatherUser)
+		parts[r] = c.p.Recv(c.WorldRank(r), c.tag(tagGatherData)).([]float64)
 	}
 	return parts
 }
-
-// tagGatherUser is a user-range tag reserved by convention for gather/scatter
-// payloads (they go through Send/Recv, which enforce the user range).
-const tagGatherUser = maxUserTag - 1
 
 // Scatterv distributes parts[i] from root to comm rank i and returns each
 // rank's part.  Only root may pass non-nil parts.
@@ -340,11 +350,11 @@ func (c *Comm) Scatterv(root int, parts [][]float64) []float64 {
 			if r == root {
 				continue
 			}
-			c.Send(r, tagGatherUser, parts[r])
+			c.p.Send(c.WorldRank(r), c.tag(tagGatherData), parts[r], len(parts[r])*bytesPerFloat)
 		}
 		return parts[root]
 	}
-	return c.Recv(root, tagGatherUser)
+	return c.p.Recv(c.WorldRank(root), c.tag(tagGatherData)).([]float64)
 }
 
 // Alltoallv sends parts[i] to comm rank i and returns the slice received

@@ -1,0 +1,83 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"agcm/internal/sim"
+)
+
+// TestReservedTagPanicsClearly: a user tag inside the reserved collective
+// band must abort with a message naming the valid range, not silently
+// collide with collective traffic.
+func TestReservedTagPanicsClearly(t *testing.T) {
+	for _, tag := range []int{maxUserTag, tagBarrier, -1} {
+		m := sim.New(2, flatModel{})
+		_, err := m.Run(func(p *sim.Proc) error {
+			c := World(p)
+			if c.Rank() == 0 {
+				c.Send(1, tag, []float64{1})
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "reserved for collective traffic") {
+			t.Fatalf("tag %d: err = %v, want reserved-tag panic message", tag, err)
+		}
+	}
+}
+
+// TestHighUserTagNoGathervCollision is the regression test for the tag
+// collision: Gatherv's payload tag used to sit at maxUserTag-1 *inside* the
+// user range, so a pending user message with that tag was consumed by a
+// concurrent Gatherv.  Every legal user tag must now be safe.
+func TestHighUserTagNoGathervCollision(t *testing.T) {
+	const userTag = maxUserTag - 1 // the old Gatherv payload tag
+	runWorld(t, 3, func(c *Comm) error {
+		// Non-root ranks post a user message to root *before* the
+		// collective, so it is queued when Gatherv's receives run.
+		if c.Rank() != 0 {
+			c.Send(0, userTag, []float64{-1, -2})
+		}
+		parts := c.Gatherv(0, []float64{float64(c.Rank() + 1)})
+		if c.Rank() == 0 {
+			for r, part := range parts {
+				if len(part) != 1 || part[0] != float64(r+1) {
+					return fmt.Errorf("gathered part[%d] = %v, want [%d] (user message leaked into the collective)",
+						r, part, r+1)
+				}
+			}
+			for src := 1; src < c.Size(); src++ {
+				got := c.Recv(src, userTag)
+				if len(got) != 2 || got[0] != -1 {
+					return fmt.Errorf("user message from %d = %v, want [-1 -2]", src, got)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestScattervWithPendingHighTag is the mirrored case for Scatterv.
+func TestScattervWithPendingHighTag(t *testing.T) {
+	const userTag = maxUserTag - 1
+	runWorld(t, 3, func(c *Comm) error {
+		var parts [][]float64
+		if c.Rank() == 0 {
+			for r := 1; r < c.Size(); r++ {
+				c.Send(r, userTag, []float64{99})
+			}
+			parts = [][]float64{{10}, {11}, {12}}
+		}
+		mine := c.Scatterv(0, parts)
+		if len(mine) != 1 || mine[0] != float64(10+c.Rank()) {
+			return fmt.Errorf("scattered %v, want [%d]", mine, 10+c.Rank())
+		}
+		if c.Rank() != 0 {
+			if got := c.Recv(0, userTag); len(got) != 1 || got[0] != 99 {
+				return fmt.Errorf("user message = %v, want [99]", got)
+			}
+		}
+		return nil
+	})
+}

@@ -12,6 +12,7 @@ import (
 
 	"agcm/internal/comm"
 	"agcm/internal/dynamics"
+	"agcm/internal/fault"
 	"agcm/internal/filter"
 	"agcm/internal/grid"
 	"agcm/internal/history"
@@ -92,7 +93,9 @@ type Config struct {
 	// algorithm.
 	VerticalDiffusion float64
 	// WarmupSteps are integrated but excluded from timing (leapfrog
-	// startup, physics load-estimate priming).  Default 2.
+	// startup, physics load-estimate priming).  Default 2; a negative
+	// value disables warmup entirely (used when continuing from a
+	// checkpoint, where re-warming would integrate extra steps).
 	WarmupSteps int
 	// DegradeRank, if >= 0, slows that one rank's processor by
 	// DegradeFactor (> 1) — the hardware-heterogeneity scenario for the
@@ -109,6 +112,16 @@ type Config struct {
 	// CaptureState gathers the full final model state into
 	// Report.FinalState for checkpointing.
 	CaptureState bool
+	// CheckpointEvery > 0 saves a full-state checkpoint every that many
+	// measured steps; completed checkpoints appear on Report.Checkpoints
+	// (oldest first) even when the run itself fails, which is what makes
+	// crash recovery possible.
+	CheckpointEvery int
+	// Fault optionally injects a deterministic failure scenario
+	// (slowdowns, jitter, drops, crashes) into the simulated machine.
+	// All faults are scheduled in virtual time from the spec's seed, so
+	// a faulty run is exactly as reproducible as a healthy one.
+	Fault *fault.Spec
 }
 
 // withDefaults fills derived and defaulted fields.
@@ -133,6 +146,20 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.WarmupSteps == 0 {
 		c.WarmupSteps = 2
+	}
+	if c.WarmupSteps < 0 {
+		c.WarmupSteps = 0
+	}
+	if c.Fault != nil {
+		if err := c.Fault.Validate(); err != nil {
+			return c, err
+		}
+		for _, r := range c.Fault.Ranks() {
+			if r >= c.MeshPy*c.MeshPx {
+				return c, fmt.Errorf("core: fault spec names rank %d outside the %dx%d mesh",
+					r, c.MeshPy, c.MeshPx)
+			}
+		}
 	}
 	if c.PhysicsRounds == 0 {
 		c.PhysicsRounds = 2
@@ -198,6 +225,12 @@ type Report struct {
 	// was set (nil otherwise); feed it back via Config.InitialState to
 	// continue the run.
 	FinalState *history.File
+
+	// Checkpoints holds the periodic checkpoints taken when
+	// Config.CheckpointEvery was set, oldest first.  Only checkpoints
+	// that completed their collective gather appear here, so after a
+	// crash the last entry is always a consistent restart point.
+	Checkpoints []*history.File
 
 	// Raw is the underlying simulation result (clocks, accounts,
 	// traffic), for the trace package's utilization views.
@@ -272,6 +305,12 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 	if cfg.EventLog {
 		m.EnableEventLog()
 	}
+	if !cfg.Fault.Empty() {
+		m.SetFaultHook(fault.NewInjector(cfg.Fault))
+	}
+	// Only rank 0's goroutine appends; the main goroutine reads after the
+	// machine's WaitGroup establishes the happens-before edge.
+	var checkpoints []*history.File
 	res, err := m.Run(func(p *sim.Proc) error {
 		world := comm.World(p)
 		cart := comm.NewCart2D(world, cfg.MeshPy, cfg.MeshPx)
@@ -315,12 +354,17 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 		phys := physics.NewRunner(world, cart, local,
 			physics.NewModel(cfg.Spec, stepsPerDay), cfg.PhysicsScheme, cfg.PhysicsRounds)
 
-		step := func(n int) {
+		// The physics phase index is the state's own step counter rather
+		// than a run-local loop index, so a run continued from a restored
+		// checkpoint sees the same solar geometry and cloud epochs as the
+		// uninterrupted run it resumes (state.Steps-1 equals the old
+		// loop index on a fresh start, leaving healthy runs bit-identical).
+		step := func() {
 			dyn.Step(state)
-			p.Timed("physics", func() { phys.Step(state.T, state.Q, n) })
+			p.Timed("physics", func() { phys.Step(state.T, state.Q, state.Steps-1) })
 		}
 		for n := 0; n < cfg.WarmupSteps; n++ {
-			step(n)
+			step()
 		}
 		snap := snapshot{
 			clock:    p.Clock(),
@@ -334,7 +378,12 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 		}
 		warm[world.Rank()] = snap
 		for n := 0; n < measuredSteps; n++ {
-			step(cfg.WarmupSteps + n)
+			step()
+			if cfg.CheckpointEvery > 0 && (n+1)%cfg.CheckpointEvery == 0 {
+				if f := dynamics.SaveState(world, cart, state); world.Rank() == 0 {
+					checkpoints = append(checkpoints, f)
+				}
+			}
 		}
 		maxAbsH[world.Rank()] = state.H.MaxAbs()
 		if cfg.CaptureState {
@@ -345,7 +394,16 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		// A failed run (e.g. an injected crash) still surfaces whatever
+		// checkpoints completed, so the caller can restart from the last
+		// one; the timing fields are meaningless and stay zero.
+		return &Report{
+			Config:      cfg,
+			Raw:         res,
+			Ranks:       ranks,
+			StepsPerDay: stepsPerDay,
+			Checkpoints: checkpoints,
+		}, err
 	}
 
 	// Scale measured virtual times to seconds/simulated-day.
@@ -410,6 +468,7 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 		FilterLoads:     filterLoads,
 		MaxAbsH:         maxOf(maxAbsH),
 		FinalState:      finalState,
+		Checkpoints:     checkpoints,
 	}
 	return rep, nil
 }

@@ -2,13 +2,16 @@ package core
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 
+	"agcm/internal/fault"
 	"agcm/internal/grid"
 	"agcm/internal/history"
 	"agcm/internal/machine"
 	"agcm/internal/physics"
+	"agcm/internal/sim"
 )
 
 // testSpec keeps the core tests fast; the full 2x2.5 resolution is
@@ -311,5 +314,119 @@ func TestSnapshotHistoryRoundTrip(t *testing.T) {
 		if v < 1000 || v > 20000 {
 			t.Fatalf("snapshot h = %g outside plausible range", v)
 		}
+	}
+}
+
+func TestCrashRecoveryRoundTrip(t *testing.T) {
+	// The end-to-end robustness scenario at test resolution: reference run,
+	// crashed run with periodic checkpoints, restart from the last
+	// checkpoint — the restarted state must be bit-identical to the
+	// reference.
+	base := testConfig(2, 2, FilterFFTBalanced)
+	base.WarmupSteps = -1 // all legs must agree on absolute step indices
+	base.CaptureState = true
+	const steps = 6
+
+	ref, err := Run(base, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulty := base
+	faulty.CheckpointEvery = 2
+	faulty.Fault = &fault.Spec{
+		Crashes: []fault.Crash{{Rank: 1, At: 0.7 * ref.Raw.MaxClock()}},
+	}
+	crashed, err := Run(faulty, steps)
+	var ce *sim.CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("crashed run error = %v, want *sim.CrashError", err)
+	}
+	if ce.Rank != 1 {
+		t.Fatalf("crash rank = %d, want 1", ce.Rank)
+	}
+	if crashed == nil {
+		t.Fatal("failed run returned no partial report")
+	}
+	cps := crashed.Checkpoints
+	for len(cps) > 0 && cps[len(cps)-1].Step >= steps {
+		cps = cps[:len(cps)-1]
+	}
+	if len(cps) == 0 {
+		t.Fatal("no usable checkpoint survived the crash")
+	}
+	last := cps[len(cps)-1]
+
+	resume := base
+	resume.InitialState = last
+	rec, err := Run(resume, steps-last.Step)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.FinalState.Step != ref.FinalState.Step {
+		t.Fatalf("restarted run ended at step %d, reference at %d",
+			rec.FinalState.Step, ref.FinalState.Step)
+	}
+	for i, name := range ref.FinalState.Names {
+		a := ref.FinalState.Data[i]
+		b, err := rec.FinalState.Variable(name)
+		if err != nil {
+			t.Fatalf("restarted state missing %q: %v", name, err)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("variable %q diverged at %d: %g vs %g", name, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestCheckpointEveryHealthyRun(t *testing.T) {
+	cfg := testConfig(2, 2, FilterFFT)
+	cfg.WarmupSteps = -1
+	cfg.CheckpointEvery = 2
+	rep, err := Run(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Checkpoints) != 2 {
+		t.Fatalf("got %d checkpoints, want 2 (steps 2 and 4)", len(rep.Checkpoints))
+	}
+	for i, want := range []int{2, 4} {
+		if rep.Checkpoints[i].Step != want {
+			t.Fatalf("checkpoint %d at step %d, want %d", i, rep.Checkpoints[i].Step, want)
+		}
+	}
+}
+
+func TestFaultSpecValidatedAgainstMesh(t *testing.T) {
+	cfg := testConfig(2, 2, FilterFFT)
+	cfg.Fault = &fault.Spec{Crashes: []fault.Crash{{Rank: 7, At: 1}}}
+	if _, err := Run(cfg, 2); err == nil {
+		t.Fatal("fault naming rank 7 accepted on a 4-rank mesh")
+	}
+	cfg.Fault = &fault.Spec{Slowdowns: []fault.Slowdown{{Rank: 0, At: 0, Factor: 0.5}}}
+	if _, err := Run(cfg, 2); err == nil {
+		t.Fatal("invalid slowdown factor accepted")
+	}
+}
+
+func TestSlowdownFaultStretchesRun(t *testing.T) {
+	cfg := testConfig(2, 2, FilterFFT)
+	healthy, err := Run(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := cfg
+	slow.Fault = &fault.Spec{
+		Slowdowns: []fault.Slowdown{{Rank: 0, At: 0, Factor: 3}},
+	}
+	degraded, err := Run(slow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Total <= healthy.Total {
+		t.Fatalf("slowdown did not stretch the run: %g vs healthy %g",
+			degraded.Total, healthy.Total)
 	}
 }

@@ -62,6 +62,16 @@ func LoadState(world *comm.Comm, cart *comm.Cart2D, file *history.File, s *State
 		case len(file.Names) != len(s.stateVariables()):
 			checkErr = fmt.Errorf("dynamics: restart has %d variables, want %d",
 				len(file.Names), len(s.stateVariables()))
+		default:
+			// Every variable must be present *before* any scatter begins:
+			// a mid-loop failure on rank 0 alone would leave the other
+			// ranks deadlocked inside grid.Scatter.
+			for _, v := range s.stateVariables() {
+				if _, err := file.Variable(v.name); err != nil {
+					checkErr = fmt.Errorf("dynamics: restart file truncated or corrupt: %w", err)
+					break
+				}
+			}
 		}
 		if checkErr != nil {
 			ok = 0

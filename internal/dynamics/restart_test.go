@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math"
+	"sync/atomic"
 	"testing"
 
 	"agcm/internal/comm"
@@ -218,5 +219,78 @@ func TestSetVerticalDiffusionValidation(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("negative diffusion accepted")
+	}
+}
+
+// TestLoadStateRejectsTruncatedFile: a restart file with a right-sized but
+// wrong-named variable set (as left by a torn write) must be rejected on
+// every rank by the up-front validation — not discovered mid-scatter on
+// rank 0 alone, which would leave the other ranks deadlocked in the
+// collective.
+func TestLoadStateRejectsTruncatedFile(t *testing.T) {
+	spec := testSpec
+	const py, px = 2, 2
+	d, _ := grid.NewDecomp(spec, py, px)
+
+	var good *history.File
+	m := sim.New(py*px, machine.CrayT3D())
+	_, err := m.Run(func(p *sim.Proc) error {
+		world := comm.World(p)
+		cart := comm.NewCart2D(world, py, px)
+		s := NewState(grid.NewLocal(d, cart.MyRow, cart.MyCol))
+		InitSolidBody(s, 20, 4)
+		if f := SaveState(world, cart, s); world.Rank() == 0 {
+			good = f
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(f *history.File)) *history.File {
+		f := &history.File{Spec: good.Spec, Step: good.Step,
+			Names: append([]string(nil), good.Names...),
+			Data:  append([][]float64(nil), good.Data...)}
+		mutate(f)
+		return f
+	}
+	cases := []struct {
+		name string
+		file *history.File
+	}{
+		{"variable missing", corrupt(func(f *history.File) {
+			f.Names = f.Names[:len(f.Names)-1]
+			f.Data = f.Data[:len(f.Data)-1]
+		})},
+		{"variable renamed", corrupt(func(f *history.File) {
+			f.Names[len(f.Names)-1] = "bogus"
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rejections atomic.Int32
+			m := sim.New(py*px, machine.CrayT3D())
+			_, err := m.Run(func(p *sim.Proc) error {
+				world := comm.World(p)
+				cart := comm.NewCart2D(world, py, px)
+				s := NewState(grid.NewLocal(d, cart.MyRow, cart.MyCol))
+				var file *history.File
+				if world.Rank() == 0 {
+					file = tc.file
+				}
+				if err := LoadState(world, cart, file, s); err != nil {
+					rejections.Add(1)
+					return nil
+				}
+				return fmt.Errorf("rank %d: corrupt restart accepted", world.Rank())
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rejections.Load(); got != py*px {
+				t.Fatalf("%d ranks rejected the file, want all %d", got, py*px)
+			}
+		})
 	}
 }

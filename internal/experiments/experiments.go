@@ -351,6 +351,7 @@ func All(opt Options) ([]*Output, error) {
 		AblationPhysicsSchemes, AblationRingVsTree, AblationPairwiseRounds,
 		AblationCommPatterns, AblationPolarTreatment, AblationSP2,
 		AblationDegradedNode, AblationResolution, AblationLayerScaling,
+		CrashRecovery,
 	}
 	var outs []*Output
 	for _, fn := range fns {
@@ -379,6 +380,7 @@ func ByID(id string, opt Options) (*Output, error) {
 		"ablation-degraded":   AblationDegradedNode,
 		"ablation-resolution": AblationResolution,
 		"ablation-layers":     AblationLayerScaling,
+		"crash-recovery":      CrashRecovery,
 	}
 	fn, ok := fns[id]
 	if !ok {
@@ -393,5 +395,6 @@ func IDs() []string {
 		"table6", "table7", "table8", "table9", "table10", "table11",
 		"blockarray", "advection", "ablation-schemes", "ablation-topology",
 		"ablation-rounds", "ablation-comm", "ablation-polar", "ablation-sp2",
-		"ablation-degraded", "ablation-resolution", "ablation-layers"}
+		"ablation-degraded", "ablation-resolution", "ablation-layers",
+		"crash-recovery"}
 }

@@ -288,3 +288,23 @@ func TestAblationSchemesStory(t *testing.T) {
 			vals["shuffle"][0], vals["pairwise"][0])
 	}
 }
+
+func TestCrashRecoveryStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-resolution runs")
+	}
+	out, err := CrashRecovery(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := out.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("crash-recovery rows = %d, want 3 legs", len(rows))
+	}
+	if got := rows[2][3]; got != "bit-identical to reference" {
+		t.Fatalf("restarted leg outcome = %q", got)
+	}
+	if !strings.Contains(rows[1][3], "crashed at virtual time") {
+		t.Fatalf("crashed leg outcome %q does not report the injected crash", rows[1][3])
+	}
+}

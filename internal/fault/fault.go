@@ -1,0 +1,256 @@
+// Package fault implements deterministic fault injection for the virtual
+// machine: per-rank slowdown onsets, message delay jitter, message drops
+// with bounded retransmission, and rank crashes.  Every decision is a pure
+// function of a fixed seed and virtual-time quantities (rank, message
+// sequence number), never of wall-clock time or goroutine scheduling, so an
+// injected failure scenario reproduces bit-identically on every run — the
+// same guarantee the simulator gives healthy machines.
+//
+// This is the perturbation harness the load-balancing literature evaluates
+// balancers under (deliberately degraded nodes, skewed links): the paper's
+// estimate-driven physics balancer, for example, must absorb a node that
+// silently slows down mid-run, and the checkpoint/restart path must survive
+// a node that disappears outright.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"agcm/internal/sim"
+)
+
+// Slowdown degrades one rank's processor by Factor from virtual time At on.
+// An interval straddling the onset is charged piecewise.
+type Slowdown struct {
+	Rank   int
+	At     float64 // onset, virtual seconds
+	Factor float64 // > 1
+}
+
+// Crash removes one rank at virtual time At: it executes nothing past that
+// instant, though messages it already posted remain deliverable.
+type Crash struct {
+	Rank int
+	At   float64 // virtual seconds
+}
+
+// Jitter adds a seeded per-message uniform delay in [0, Max) seconds to
+// every inter-rank message's in-flight time.
+type Jitter struct {
+	Max float64
+}
+
+// Drop models a lossy interconnect with a stop-and-wait retransmission
+// protocol: each transmission attempt of a message is lost with probability
+// Prob; each loss costs Timeout virtual seconds before the retransmit; after
+// Retries failed retransmissions the link is declared down and the sending
+// rank aborts.
+type Drop struct {
+	Prob    float64 // per-attempt loss probability in [0, 1)
+	Retries int     // retransmission budget per message
+	Timeout float64 // virtual seconds per lost attempt
+}
+
+// Spec is a complete fault scenario.  The zero value injects nothing.
+type Spec struct {
+	Seed      uint64
+	Slowdowns []Slowdown
+	Crashes   []Crash
+	Jitter    *Jitter
+	Drop      *Drop
+}
+
+// Validate checks the scenario's parameters.
+func (s *Spec) Validate() error {
+	for _, sl := range s.Slowdowns {
+		if sl.Rank < 0 {
+			return fmt.Errorf("fault: slowdown rank %d negative", sl.Rank)
+		}
+		if sl.Factor <= 1 {
+			return fmt.Errorf("fault: slowdown factor %g must exceed 1", sl.Factor)
+		}
+		if sl.At < 0 || math.IsNaN(sl.At) {
+			return fmt.Errorf("fault: slowdown onset %g invalid", sl.At)
+		}
+	}
+	for _, c := range s.Crashes {
+		if c.Rank < 0 {
+			return fmt.Errorf("fault: crash rank %d negative", c.Rank)
+		}
+		if c.At < 0 || math.IsNaN(c.At) {
+			return fmt.Errorf("fault: crash time %g invalid", c.At)
+		}
+	}
+	if j := s.Jitter; j != nil && (j.Max <= 0 || math.IsNaN(j.Max)) {
+		return fmt.Errorf("fault: jitter max %g must be positive", j.Max)
+	}
+	if d := s.Drop; d != nil {
+		if d.Prob < 0 || d.Prob >= 1 || math.IsNaN(d.Prob) {
+			return fmt.Errorf("fault: drop probability %g outside [0, 1)", d.Prob)
+		}
+		if d.Retries < 0 {
+			return fmt.Errorf("fault: drop retries %d negative", d.Retries)
+		}
+		if d.Timeout < 0 || math.IsNaN(d.Timeout) {
+			return fmt.Errorf("fault: drop timeout %g invalid", d.Timeout)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the scenario injects nothing.
+func (s *Spec) Empty() bool {
+	return s == nil || (len(s.Slowdowns) == 0 && len(s.Crashes) == 0 &&
+		s.Jitter == nil && s.Drop == nil)
+}
+
+// String renders the scenario in the -fault-spec clause syntax accepted by
+// Parse.
+func (s *Spec) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Seed))
+	}
+	for _, sl := range s.Slowdowns {
+		parts = append(parts, fmt.Sprintf("slow:rank=%d,at=%g,factor=%g", sl.Rank, sl.At, sl.Factor))
+	}
+	for _, c := range s.Crashes {
+		parts = append(parts, fmt.Sprintf("crash:rank=%d,at=%g", c.Rank, c.At))
+	}
+	if j := s.Jitter; j != nil {
+		parts = append(parts, fmt.Sprintf("jitter:max=%g", j.Max))
+	}
+	if d := s.Drop; d != nil {
+		parts = append(parts, fmt.Sprintf("drop:prob=%g,retries=%d,timeout=%g", d.Prob, d.Retries, d.Timeout))
+	}
+	return strings.Join(parts, ";")
+}
+
+// Injector implements sim.FaultHook for one Spec.  It is immutable after
+// construction and safe for concurrent use by every rank goroutine.
+type Injector struct {
+	seed    uint64
+	slow    map[int]Slowdown
+	crashAt map[int]float64
+	jitter  *Jitter
+	drop    *Drop
+}
+
+var _ sim.FaultHook = (*Injector)(nil)
+
+// NewInjector compiles a validated Spec into a hook for
+// sim.Machine.SetFaultHook.  It panics on an invalid spec (a programming
+// error; command-line input is validated by Parse).
+func NewInjector(s *Spec) *Injector {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	in := &Injector{
+		seed:    s.Seed,
+		slow:    make(map[int]Slowdown, len(s.Slowdowns)),
+		crashAt: make(map[int]float64, len(s.Crashes)),
+		jitter:  s.Jitter,
+		drop:    s.Drop,
+	}
+	for _, sl := range s.Slowdowns {
+		in.slow[sl.Rank] = sl
+	}
+	for _, c := range s.Crashes {
+		// Multiple crashes for one rank: the earliest wins.
+		if at, ok := in.crashAt[c.Rank]; !ok || c.At < at {
+			in.crashAt[c.Rank] = c.At
+		}
+	}
+	return in
+}
+
+// ComputeSeconds stretches the interval [start, start+dt) by the rank's
+// slowdown factor for the part past the onset.
+func (in *Injector) ComputeSeconds(rank int, start, dt float64) float64 {
+	sl, ok := in.slow[rank]
+	if !ok {
+		return dt
+	}
+	if start >= sl.At {
+		return dt * sl.Factor
+	}
+	if start+dt <= sl.At {
+		return dt
+	}
+	healthy := sl.At - start
+	return healthy + (dt-healthy)*sl.Factor
+}
+
+// SendDelay returns the message's extra in-flight time: jitter plus any
+// retransmission timeouts, both decided by a seeded hash of the globally
+// unique (src, seq) identity so the outcome is independent of scheduling.
+func (in *Injector) SendDelay(src, dst, tag int, seq int64, now float64) (float64, error) {
+	var extra float64
+	if j := in.jitter; j != nil {
+		extra += uniform01(in.mix(1, uint64(src), uint64(seq), 0)) * j.Max
+	}
+	if d := in.drop; d != nil && d.Prob > 0 {
+		attempt := 0
+		for ; attempt <= d.Retries; attempt++ {
+			if uniform01(in.mix(2, uint64(src), uint64(seq), uint64(attempt))) >= d.Prob {
+				break
+			}
+			extra += d.Timeout
+		}
+		if attempt > d.Retries {
+			return 0, fmt.Errorf("fault: message (seq %d) dropped on all %d attempts, link declared down",
+				seq, d.Retries+1)
+		}
+	}
+	return extra, nil
+}
+
+// CrashTime returns the rank's injected crash time, or +Inf.
+func (in *Injector) CrashTime(rank int) float64 {
+	if at, ok := in.crashAt[rank]; ok {
+		return at
+	}
+	return math.Inf(1)
+}
+
+// Ranks returns every rank the scenario names, for validation against a
+// machine size.
+func (s *Spec) Ranks() []int {
+	seen := map[int]bool{}
+	for _, sl := range s.Slowdowns {
+		seen[sl.Rank] = true
+	}
+	for _, c := range s.Crashes {
+		seen[c.Rank] = true
+	}
+	ranks := make([]int, 0, len(seen))
+	for r := range seen {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// mix is a splitmix64-style hash of the seed and up to four words — the
+// same construction the physics package uses for its reproducible cloud
+// field.
+func (in *Injector) mix(stream, a, b, c uint64) uint64 {
+	x := in.seed ^ 0x9E3779B97F4A7C15
+	for _, v := range [4]uint64{stream, a, b, c} {
+		x += v + 0x9E3779B97F4A7C15
+		x ^= x >> 30
+		x *= 0xBF58476D1CE4E5B9
+		x ^= x >> 27
+		x *= 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return x
+}
+
+// uniform01 maps a hash to [0, 1).
+func uniform01(x uint64) float64 {
+	return float64(x>>11) / float64(1<<53)
+}

@@ -17,6 +17,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -38,6 +39,27 @@ type CostModel interface {
 	// NetworkSeconds is the in-flight time of a message: latency plus
 	// serialization at the network bandwidth.
 	NetworkSeconds(bytes int) float64
+}
+
+// FaultHook injects deterministic perturbations into a machine (see package
+// fault for the standard seeded implementation).  All decisions must be pure
+// functions of their arguments so faulty runs stay bit-reproducible; the
+// zero-fault path pays only a nil check.
+type FaultHook interface {
+	// ComputeSeconds maps a compute interval starting at virtual time
+	// `start` with nominal duration dt to its perturbed duration (e.g. a
+	// slowdown whose onset the interval straddles).  Must return dt when
+	// the rank is unaffected.
+	ComputeSeconds(rank int, start, dt float64) float64
+	// SendDelay returns extra in-flight delay for the message with the
+	// sender-local sequence number seq (jitter, drop-and-retransmit
+	// timeouts).  A non-nil error means delivery failed permanently
+	// (retry budget exhausted) and aborts the sending rank.
+	SendDelay(src, dst, tag int, seq int64, now float64) (float64, error)
+	// CrashTime returns the virtual time at which the rank dies, or
+	// +Inf for a healthy rank.  A crashed rank stops executing at that
+	// instant; messages it already posted remain deliverable.
+	CrashTime(rank int) float64
 }
 
 // message is an in-flight point-to-point message.
@@ -63,10 +85,12 @@ type mailbox struct {
 	cond   *sync.Cond
 	queues map[key][]*message
 	closed bool
+	rank   int
+	wd     *watchdog
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{queues: make(map[key][]*message)}
+func newMailbox(rank int, wd *watchdog) *mailbox {
+	mb := &mailbox{queues: make(map[key][]*message), rank: rank, wd: wd}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -75,6 +99,9 @@ func (mb *mailbox) post(m *message) {
 	mb.mu.Lock()
 	k := key{m.source, m.tag}
 	mb.queues[k] = append(mb.queues[k], m)
+	// Clear the receiver's blocked registration under the same lock that
+	// created it, keeping the watchdog's wait-for graph exact.
+	mb.wd.satisfied(mb.rank, k)
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
@@ -96,7 +123,9 @@ func (mb *mailbox) take(source, tag int) *message {
 		if mb.closed {
 			return nil
 		}
+		mb.wd.block(mb.rank, k)
 		mb.cond.Wait()
+		mb.wd.unblock(mb.rank)
 	}
 }
 
@@ -114,6 +143,8 @@ type Machine struct {
 	models    []CostModel
 	boxes     []*mailbox
 	logEvents bool
+	fault     FaultHook
+	wd        *watchdog
 }
 
 // New creates a machine with n identical ranks.  It panics if n < 1 or
@@ -144,15 +175,27 @@ func NewHeterogeneous(models []CostModel) *Machine {
 		}
 	}
 	m := &Machine{n: len(models), models: models}
+	m.wd = newWatchdog(m)
 	m.boxes = make([]*mailbox, m.n)
 	for i := range m.boxes {
-		m.boxes[i] = newMailbox()
+		m.boxes[i] = newMailbox(i, m.wd)
 	}
 	return m
 }
 
 // Ranks returns the number of ranks in the machine.
 func (m *Machine) Ranks() int { return m.n }
+
+// SetFaultHook installs a fault injector consulted on compute, send and
+// receive paths of the next Run.  Pass nil to remove it.
+func (m *Machine) SetFaultHook(h FaultHook) { m.fault = h }
+
+// closeAll closes every mailbox, waking any parked rank.  Idempotent.
+func (m *Machine) closeAll() {
+	for _, b := range m.boxes {
+		b.close()
+	}
+}
 
 // Result captures the outcome of one Run: the final virtual clock of each
 // rank, per-category accounted time, and communication statistics.
@@ -239,30 +282,60 @@ func (r *Result) Categories() []string {
 
 // Run executes body once per rank, each in its own goroutine, and blocks
 // until every rank returns.  The returned Result holds the final clocks.
-// If any rank returns an error or panics, Run reports the first error by
-// rank order (panics are wrapped).
+//
+// Run cannot hang: if any rank returns an error or panics, every mailbox is
+// closed so peers blocked in Recv abort instead of waiting forever, and if
+// all live ranks ever block simultaneously on messages that can never
+// arrive, the built-in watchdog aborts the run with a DeadlockError naming
+// each blocked (rank, src, tag).  Errors are reported by decreasing
+// usefulness: injected crashes (CrashError), then deadlocks, then the first
+// rank's own error or panic, then shutdown-victim errors.
 func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
 	procs := make([]*Proc, m.n)
 	errs := make([]error, m.n)
+	m.wd.reset()
 	var wg sync.WaitGroup
 	for r := 0; r < m.n; r++ {
 		procs[r] = &Proc{
 			rank:     r,
 			machine:  m,
 			accounts: make(map[string]float64),
+			crashAt:  math.Inf(1),
+		}
+		if m.fault != nil {
+			procs[r].crashAt = m.fault.CrashTime(r)
 		}
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					errs[r] = fmt.Errorf("sim: rank %d panicked: %v", r, rec)
-					// Unblock any rank waiting on a message that
-					// will now never come.
-					for _, b := range m.boxes {
-						b.close()
+					switch e := rec.(type) {
+					case *CrashError:
+						// An injected crash removes this rank but lets the
+						// rest of the machine keep draining deterministically;
+						// the watchdog handles any resulting quiescence.
+						errs[r] = e
+						m.wd.crash(r)
+					case *abortedError:
+						errs[r] = e
+						m.wd.finish(r)
+					default:
+						errs[r] = fmt.Errorf("sim: rank %d panicked: %v", r, rec)
+						// Unblock any rank waiting on a message that
+						// will now never come.
+						m.wd.shutdown()
 					}
+					return
 				}
+				if errs[r] != nil {
+					// A rank that *returns* an error must release its
+					// peers exactly like one that panics, or they hang
+					// in Recv forever.
+					m.wd.shutdown()
+					return
+				}
+				m.wd.finish(r)
 			}()
 			errs[r] = body(procs[r])
 		}(r)
@@ -293,10 +366,31 @@ func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
 			res.Accounts[cat][r] = t
 		}
 	}
+	// Injected crashes are the root cause of everything downstream of them.
 	for _, err := range errs {
-		if err != nil {
+		if _, ok := err.(*CrashError); ok {
 			return res, err
 		}
+	}
+	if err := m.wd.deadlock(); err != nil {
+		return res, err
+	}
+	// Prefer a rank's own failure over the victims it shut down.
+	var victim error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, ok := err.(*abortedError); ok {
+			if victim == nil {
+				victim = err
+			}
+			continue
+		}
+		return res, err
+	}
+	if victim != nil {
+		return res, victim
 	}
 	return res, nil
 }
@@ -307,6 +401,7 @@ type Proc struct {
 	rank         int
 	machine      *Machine
 	clock        float64
+	crashAt      float64 // injected crash time (+Inf when healthy)
 	accounts     map[string]float64
 	messagesSent int64
 	bytesSent    int64
@@ -339,14 +434,24 @@ func (p *Proc) Clock() float64 { return p.clock }
 
 // Compute advances the clock by the cost of flops floating point operations.
 func (p *Proc) Compute(flops float64) {
-	p.clock += p.machine.models[p.rank].FlopSeconds(flops)
+	dt := p.machine.models[p.rank].FlopSeconds(flops)
+	if p.machine.fault != nil {
+		p.faultyAdvance(dt)
+		return
+	}
+	p.clock += dt
 }
 
 // ComputeMem advances the clock by the cost of flops operations plus
 // memBytes of memory traffic.  Use this for kernels whose cost is dominated
 // by cache behaviour rather than arithmetic.
 func (p *Proc) ComputeMem(flops, memBytes float64) {
-	p.clock += p.machine.models[p.rank].FlopSeconds(flops) + p.machine.models[p.rank].MemSeconds(memBytes)
+	dt := p.machine.models[p.rank].FlopSeconds(flops) + p.machine.models[p.rank].MemSeconds(memBytes)
+	if p.machine.fault != nil {
+		p.faultyAdvance(dt)
+		return
+	}
+	p.clock += dt
 }
 
 // Elapse advances the clock by a raw number of virtual seconds.
@@ -354,7 +459,28 @@ func (p *Proc) Elapse(seconds float64) {
 	if seconds < 0 {
 		panic(fmt.Sprintf("sim: rank %d elapsed negative time %g", p.rank, seconds))
 	}
+	if p.machine.fault != nil {
+		p.faultyAdvance(seconds)
+		return
+	}
 	p.clock += seconds
+}
+
+// faultyAdvance advances the clock by dt seconds of CPU occupancy under an
+// installed fault hook: the hook may stretch the interval (slowdown onset)
+// and the rank dies the instant its clock reaches the injected crash time.
+func (p *Proc) faultyAdvance(dt float64) {
+	p.clock += p.machine.fault.ComputeSeconds(p.rank, p.clock, dt)
+	if p.clock >= p.crashAt {
+		p.crash()
+	}
+}
+
+// crash stops the rank at its injected crash time.  The panic is recovered
+// by Run and surfaced as a *CrashError.
+func (p *Proc) crash() {
+	p.clock = p.crashAt
+	panic(&CrashError{Rank: p.rank, At: p.crashAt})
 }
 
 // Send transmits payload to rank dst with the given tag.  bytes is the wire
@@ -368,9 +494,15 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 	p.messagesSent++
 	p.bytesSent += int64(bytes)
 	seq := p.messagesSent
+	fault := p.machine.fault
+	overhead := p.machine.models[p.rank].SendOverheadSeconds(bytes)
 	if dst == p.rank {
 		// Self-sends are legal and cost only the overheads, not the wire.
-		p.clock += p.machine.models[p.rank].SendOverheadSeconds(bytes)
+		if fault != nil {
+			p.faultyAdvance(overhead)
+		} else {
+			p.clock += overhead
+		}
 		p.logSend(dst, bytes, p.clock, seq)
 		p.machine.boxes[dst].post(&message{
 			source: p.rank, tag: tag, payload: payload, bytes: bytes,
@@ -378,14 +510,24 @@ func (p *Proc) Send(dst, tag int, payload any, bytes int) {
 		})
 		return
 	}
-	p.clock += p.machine.models[p.rank].SendOverheadSeconds(bytes)
+	wire := p.machine.models[p.rank].NetworkSeconds(bytes)
+	if fault != nil {
+		p.faultyAdvance(overhead)
+		extra, err := fault.SendDelay(p.rank, dst, tag, seq, p.clock)
+		if err != nil {
+			panic(fmt.Errorf("sim: rank %d send to rank %d (tag %d): %w", p.rank, dst, tag, err))
+		}
+		wire += extra
+	} else {
+		p.clock += overhead
+	}
 	p.logSend(dst, bytes, p.clock, seq)
 	p.machine.boxes[dst].post(&message{
 		source:  p.rank,
 		tag:     tag,
 		payload: payload,
 		bytes:   bytes,
-		arrive:  p.clock + p.machine.models[p.rank].NetworkSeconds(bytes),
+		arrive:  p.clock + wire,
 		seq:     seq,
 	})
 }
@@ -399,14 +541,26 @@ func (p *Proc) Recv(src, tag int) any {
 	}
 	m := p.machine.boxes[p.rank].take(src, tag)
 	if m == nil {
-		panic(fmt.Sprintf("sim: rank %d recv aborted (machine shut down)", p.rank))
+		panic(&abortedError{rank: p.rank})
 	}
 	waitedFrom := p.clock
 	if m.arrive > p.clock {
+		if m.arrive >= p.crashAt {
+			// The rank dies while still waiting for this message.
+			if p.crashAt > p.clock {
+				p.waitSeconds += p.crashAt - p.clock
+			}
+			p.crash()
+		}
 		p.waitSeconds += m.arrive - p.clock
 		p.clock = m.arrive
 	}
-	p.clock += p.machine.models[p.rank].RecvOverheadSeconds(m.bytes)
+	overhead := p.machine.models[p.rank].RecvOverheadSeconds(m.bytes)
+	if p.machine.fault != nil {
+		p.faultyAdvance(overhead)
+	} else {
+		p.clock += overhead
+	}
 	p.logRecv(m.source, m.bytes, waitedFrom, p.clock, m.seq)
 	return m.payload
 }

@@ -1,0 +1,208 @@
+package sim
+
+// Hang watchdog: the simulator's answer to the classic MPI failure mode in
+// which one rank's mistake (a mismatched tag, an early exit, a crashed node)
+// leaves every other rank blocked in Recv forever and the whole process —
+// including `go test` — hangs with no diagnosis.
+//
+// Every rank that parks inside mailbox.take registers the (src, tag) pair it
+// is waiting for.  A post that satisfies the registered pair clears the
+// registration under the same mailbox lock, so the watchdog's view is exact:
+// a registered rank has no satisfying message pending.  The moment every
+// live rank is either finished, dead (injected crash) or registered blocked,
+// no message can ever be posted again, the machine is provably deadlocked,
+// and the watchdog aborts the run immediately — bounded wall time, no timers
+// — returning a wait-for graph instead of hanging.
+//
+// Detection is purely event-driven, so it adds no cost to runs that never
+// block and one mutex acquisition to each blocking wait.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DeadlockError reports a machine-wide hang: every live rank blocked in Recv
+// on a message that can never arrive.  Blocked lists the wait-for edges.
+type DeadlockError struct {
+	// Blocked holds one entry per parked rank, sorted by rank.
+	Blocked []BlockedRank
+	// Dead lists ranks removed by an injected crash before the hang.
+	Dead []int
+}
+
+// BlockedRank is one node of the wait-for graph: Rank is parked in Recv
+// waiting for a message from Src with the given (machine-level) Tag.
+type BlockedRank struct {
+	Rank, Src, Tag int
+}
+
+func (e *DeadlockError) Error() string {
+	s := "sim: deadlock detected: all live ranks blocked in Recv:"
+	for i, b := range e.Blocked {
+		if i > 0 {
+			s += ";"
+		}
+		s += fmt.Sprintf(" rank %d waiting on (src=%d, tag=%d)", b.Rank, b.Src, b.Tag)
+	}
+	if len(e.Dead) > 0 {
+		s += fmt.Sprintf(" [crashed ranks: %v]", e.Dead)
+	}
+	return s
+}
+
+// CrashError reports an injected rank crash (see FaultHook.CrashTime): the
+// rank stopped executing at virtual time At and sent nothing afterwards.
+type CrashError struct {
+	Rank int
+	At   float64
+}
+
+func (e *CrashError) Error() string {
+	return fmt.Sprintf("sim: rank %d crashed at virtual time %.6gs (injected fault)", e.Rank, e.At)
+}
+
+// abortedError marks a rank whose Recv was released by a machine abort
+// (deadlock, peer panic or peer error); it is a victim, not a cause, and
+// Run prefers any other error over it.
+type abortedError struct {
+	rank int
+}
+
+func (e *abortedError) Error() string {
+	return fmt.Sprintf("sim: rank %d recv aborted (machine shut down)", e.rank)
+}
+
+// watchdog tracks which ranks are parked in mailbox.take and fires when no
+// rank can ever make progress again.
+type watchdog struct {
+	machine *Machine
+
+	// nblocked mirrors len(blocked) so the post fast path can skip the
+	// lock when nothing is parked (the common case).
+	nblocked atomic.Int32
+
+	mu      sync.Mutex
+	blocked map[int]key // rank -> awaited (source, tag), no satisfying message pending
+	done    int         // ranks whose body returned nil
+	dead    []int       // ranks removed by an injected crash
+	aborted bool        // an abort (deadlock or shutdown) is in progress
+	err     *DeadlockError
+}
+
+func newWatchdog(m *Machine) *watchdog {
+	return &watchdog{machine: m, blocked: make(map[int]key)}
+}
+
+// reset clears per-Run state.
+func (w *watchdog) reset() {
+	w.mu.Lock()
+	w.blocked = make(map[int]key)
+	w.done = 0
+	w.dead = nil
+	w.aborted = false
+	w.err = nil
+	w.nblocked.Store(0)
+	w.mu.Unlock()
+}
+
+// block registers rank as parked waiting for k.  Called with the rank's own
+// mailbox lock held, immediately before cond.Wait.
+func (w *watchdog) block(rank int, k key) {
+	w.mu.Lock()
+	w.blocked[rank] = k
+	w.nblocked.Store(int32(len(w.blocked)))
+	w.checkLocked()
+	w.mu.Unlock()
+}
+
+// unblock clears the registration after the rank wakes (if a post has not
+// already cleared it).
+func (w *watchdog) unblock(rank int) {
+	w.mu.Lock()
+	delete(w.blocked, rank)
+	w.nblocked.Store(int32(len(w.blocked)))
+	w.mu.Unlock()
+}
+
+// satisfied clears rank's registration when a message with exactly the
+// awaited key is posted.  Called with the destination's mailbox lock held —
+// the same lock block() holds — so a registered rank provably has no
+// satisfying message pending.
+func (w *watchdog) satisfied(rank int, k key) {
+	if w.nblocked.Load() == 0 {
+		return
+	}
+	w.mu.Lock()
+	if bk, ok := w.blocked[rank]; ok && bk == k {
+		delete(w.blocked, rank)
+		w.nblocked.Store(int32(len(w.blocked)))
+	}
+	w.mu.Unlock()
+}
+
+// finish records a rank whose body returned nil.
+func (w *watchdog) finish(rank int) {
+	w.mu.Lock()
+	w.done++
+	w.checkLocked()
+	w.mu.Unlock()
+}
+
+// crash records a rank removed by an injected fault.  Unlike shutdown, the
+// rest of the machine keeps running: messages the dead rank already posted
+// stay consumable, and ranks that come to depend on it park until the
+// watchdog proves global quiescence.  The final blocked configuration is a
+// fixpoint of the (deterministic) per-rank programs, so crashed runs remain
+// bit-reproducible.
+func (w *watchdog) crash(rank int) {
+	w.mu.Lock()
+	w.dead = append(w.dead, rank)
+	w.checkLocked()
+	w.mu.Unlock()
+}
+
+// shutdown marks an abort in progress (peer panic or error return) so a
+// concurrent or later quiescence check does not misreport the drain as a
+// deadlock.
+func (w *watchdog) shutdown() {
+	w.mu.Lock()
+	w.aborted = true
+	w.mu.Unlock()
+	w.machine.closeAll()
+}
+
+// checkLocked fires the watchdog when every live rank is parked.  Caller
+// holds w.mu.
+func (w *watchdog) checkLocked() {
+	if w.aborted || len(w.blocked) == 0 {
+		return
+	}
+	if len(w.blocked)+w.done+len(w.dead) != w.machine.n {
+		return
+	}
+	w.aborted = true
+	e := &DeadlockError{Dead: append([]int(nil), w.dead...)}
+	for rank, k := range w.blocked {
+		e.Blocked = append(e.Blocked, BlockedRank{Rank: rank, Src: k.source, Tag: k.tag})
+	}
+	sort.Slice(e.Blocked, func(i, j int) bool { return e.Blocked[i].Rank < e.Blocked[j].Rank })
+	sort.Ints(e.Dead)
+	w.err = e
+	// Wake the parked ranks.  Closing takes each mailbox's lock and the
+	// caller of block() still holds its own until cond.Wait releases it,
+	// so the close must happen off this goroutine.
+	go w.machine.closeAll()
+}
+
+// deadlock returns the deadlock error, if the watchdog fired.
+func (w *watchdog) deadlock() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err == nil {
+		return nil // typed nil must not escape into a non-nil error
+	}
+	return w.err
+}
