@@ -1,0 +1,161 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the agcmlint binary once per test run.
+func buildLint(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping vettool integration in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "agcmlint")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestVersionHandshake checks the -V=full reply cmd/go parses for its build
+// cache: `<name> version <ver>` with a non-"devel" version so the whole line
+// keys cached vet results.
+func TestVersionHandshake(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("-V=full: %v", err)
+	}
+	f := strings.Fields(strings.TrimSpace(string(out)))
+	if len(f) < 3 || f[1] != "version" {
+		t.Fatalf("-V=full output %q: want `name version ver ...`", out)
+	}
+	if f[2] == "devel" {
+		t.Errorf("-V=full version is %q: cmd/go would reject the tool for caching", f[2])
+	}
+}
+
+// TestFlagsHandshake checks that -flags emits the JSON flag-definition list
+// go vet uses to decide which flags it may forward.
+func TestFlagsHandshake(t *testing.T) {
+	bin := buildLint(t)
+	out, err := exec.Command(bin, "-flags").Output()
+	if err != nil {
+		t.Fatalf("-flags: %v", err)
+	}
+	var defs []struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	if err := json.Unmarshal(out, &defs); err != nil {
+		t.Fatalf("-flags output is not a JSON flag list: %v\n%s", err, out)
+	}
+	found := false
+	for _, d := range defs {
+		if d.Name == "json" && d.Bool {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("-flags output %s lacks the boolean json flag", out)
+	}
+}
+
+// writeProbeModule lays out a throwaway module whose package path places it
+// inside the nondeterm scope (internal/sim), with one flagged map range and
+// one annotated one.
+func writeProbeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module lintprobe\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join(dir, "internal", "sim")
+	if err := os.MkdirAll(pkgDir, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkgDir, "probe.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestGoVetFlagsViolation runs the real `go vet -vettool` pipeline over a
+// module containing a determinism violation and expects the diagnostic.
+func TestGoVetFlagsViolation(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeProbeModule(t, `package sim
+
+func Sum(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		t.Fatalf("go vet -vettool succeeded on a violating package; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "nondeterm") || !strings.Contains(stderr.String(), "range over map") {
+		t.Errorf("go vet stderr missing nondeterm diagnostic:\n%s", stderr.String())
+	}
+}
+
+// TestGoVetCleanPackage runs the pipeline over an annotated version of the
+// same code and expects a clean exit.
+func TestGoVetCleanPackage(t *testing.T) {
+	bin := buildLint(t)
+	dir := writeProbeModule(t, `package sim
+
+// Sum is order-insensitive only up to float rounding, but this probe only
+// checks that the annotation suppresses the diagnostic.
+func Sum(m map[string]float64) float64 {
+	var s float64
+	//lint:allow nondeterm probe fixture exercising the vettool suppression path
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool failed on an annotated package: %v\n%s", err, stderr.String())
+	}
+}
+
+// TestGoVetRealPackages runs the pipeline over representative repo packages,
+// exercising the export-data importer on real dependency graphs.  The tree
+// must be clean: PR hygiene is enforced by CI running the same command.
+func TestGoVetRealPackages(t *testing.T) {
+	bin := buildLint(t)
+	root, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./internal/trace", "./internal/comm")
+	cmd.Dir = strings.TrimSpace(string(root))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("go vet -vettool over repo packages: %v\n%s", err, stderr.String())
+	}
+}

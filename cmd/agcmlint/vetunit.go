@@ -1,0 +1,169 @@
+// The `go vet -vettool` unit protocol: cmd/go hands the tool one JSON .cfg
+// file per compilation unit describing sources, the import map, and export
+// data locations, and expects diagnostics on stderr (exit 1) or, with -json,
+// a JSON tree on stdout (exit 0).  This mirrors the behaviour of
+// x/tools/go/analysis/unitchecker, which this offline tree cannot depend on
+// (see the note in go.mod).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"agcm/internal/analysis"
+)
+
+// vetConfig is the compilation-unit description written by cmd/go
+// (src/cmd/go/internal/work/exec.go, vet action).  Field names and JSON
+// shapes must match exactly.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string // import path -> canonical package path
+	PackageFile               map[string]string // package path -> export data file
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit analyzes the single unit described by cfgPath.
+func runVetUnit(cfgPath string, jsonOut bool) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	// cmd/go expects a vetx "facts" output for every unit, including
+	// VetxOnly dependency visits, and caches it for downstream units.  The
+	// agcmlint analyzers exchange no facts, so the file is a placeholder.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("agcmlint: no facts\n"), 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return
+	}
+
+	fset := token.NewFileSet()
+	pkg, err := typecheckVetUnit(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return
+		}
+		fatal(err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fatal(err)
+	}
+
+	if jsonOut {
+		// The unitchecker JSON shape: {pkgID: {analyzer: [{posn, message}]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := make(map[string][]jsonDiag)
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn: d.Position(fset).String(), Message: d.Message,
+			})
+		}
+		tree := map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(tree); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position(fset), d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("decoding vet config %s: %w", path, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, fmt.Errorf("vet config %s describes no Go files", path)
+	}
+	return cfg, nil
+}
+
+// typecheckVetUnit parses and type-checks the unit from the cfg's file
+// lists, importing dependencies through the cfg's export-data map.
+func typecheckVetUnit(fset *token.FileSet, cfg *vetConfig) (*analysis.Package, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("cannot resolve import %q", importPath)
+		}
+		return compilerImporter.(types.ImporterFrom).ImportFrom(path, cfg.Dir, 0)
+	})
+	conf := &types.Config{Importer: imp, GoVersion: cfg.GoVersion}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &analysis.Package{Fset: fset, Files: files, Pkg: tpkg, TypesInfo: info}, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "agcmlint: %v\n", err)
+	os.Exit(2)
+}

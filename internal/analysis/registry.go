@@ -1,0 +1,6 @@
+package analysis
+
+// All returns agcmlint's analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Nondeterm, Commtag, Collective, Sendalias}
+}

@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Sendalias flags buffers that are mutated after being handed to Comm.Send
+// or Comm.SendInts.  The sim mailbox is zero-copy: Send passes the slice's
+// backing array by reference, and the receiver may read it at any later
+// virtual time — a post-send write races with that read and silently
+// corrupts the payload (or, because delivery order is deterministic,
+// corrupts it *reproducibly*, which is worse to debug).  Callers that reuse
+// a buffer must use SendCopy.
+//
+// The check is intra-procedural and positional: a write to the sent
+// expression after the call (or anywhere in a loop that re-executes the
+// call) is reported unless the variable was first rebound to a fresh value.
+var Sendalias = &Analyzer{
+	Name: "sendalias",
+	Doc: `flag Comm.Send buffers written after the send
+
+Comm.Send and Comm.SendInts hand over the slice's backing array without
+copying; mutating it afterwards corrupts the in-flight payload.  Rebind the
+variable to a fresh slice, or use SendCopy.`,
+	Run: runSendalias,
+}
+
+func runSendalias(pass *Pass) error {
+	for _, file := range pass.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkSendAliases(pass, body)
+		})
+	}
+	return nil
+}
+
+// sendSite is one zero-copy send of a trackable buffer expression.
+type sendSite struct {
+	call   *ast.CallExpr
+	method string
+	buf    string    // rendering of the sent expression
+	loop   ast.Node  // innermost for/range statement enclosing the call, if any
+	pos    token.Pos // position of the call
+}
+
+// bufEvent is a later statement interacting with a sent buffer.
+type bufEvent struct {
+	pos  token.Pos
+	kind int // eventMutate or eventRebind
+	node ast.Node
+	desc string
+}
+
+const (
+	eventMutate = iota
+	eventRebind
+)
+
+func checkSendAliases(pass *Pass, body *ast.BlockStmt) {
+	sends := collectSends(pass, body)
+	if len(sends) == 0 {
+		return
+	}
+	for _, s := range sends {
+		events := collectBufEvents(pass, body, s.buf)
+		reportAliasedWrites(pass, s, events)
+	}
+}
+
+// collectSends finds Send/SendInts calls whose payload argument is a plain
+// variable, field or index expression (composite expressions like append(...)
+// results cannot be written through afterwards by name).
+func collectSends(pass *Pass, body *ast.BlockStmt) []sendSite {
+	var sends []sendSite
+	var loopStack []ast.Node
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			loopStack = append(loopStack, n)
+			walkChildren(n, walk)
+			loopStack = loopStack[:len(loopStack)-1]
+			return
+		case *ast.CallExpr:
+			if name, ok := methodOn(pass.TypesInfo, n, "comm", "Comm", "Send", "SendInts"); ok && len(n.Args) == 3 {
+				if trackable(n.Args[2]) {
+					var loop ast.Node
+					if len(loopStack) > 0 {
+						loop = loopStack[len(loopStack)-1]
+					}
+					sends = append(sends, sendSite{
+						call: n, method: name,
+						buf:  types.ExprString(n.Args[2]),
+						loop: loop, pos: n.Pos(),
+					})
+				}
+			}
+		}
+		walkChildren(n, walk)
+	}
+	walk(body)
+	return sends
+}
+
+// trackable reports whether e is an expression whose later writes we can
+// recognize by rendering: identifiers, field selectors, and index chains.
+func trackable(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr:
+		return trackable(e.X)
+	case *ast.IndexExpr:
+		return trackable(e.X)
+	default:
+		return false
+	}
+}
+
+// collectBufEvents gathers mutations of and rebinds to buf across the
+// function body, in source order.
+func collectBufEvents(pass *Pass, body *ast.BlockStmt, buf string) []bufEvent {
+	var events []bufEvent
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				// buf[i] = v  or  buf.f = v — writes through the
+				// sent backing store.
+				switch l := l.(type) {
+				case *ast.IndexExpr:
+					if types.ExprString(l.X) == buf {
+						events = append(events, bufEvent{pos: l.Pos(), kind: eventMutate, node: l,
+							desc: "element write " + types.ExprString(l)})
+					}
+				}
+				if types.ExprString(l) != buf {
+					continue
+				}
+				// buf = append(buf, ...) may write into the sent
+				// backing array when spare capacity exists; any
+				// other rebind makes buf a fresh value.
+				rhs := ast.Expr(nil)
+				if i < len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isAppendOf(call, buf) {
+					events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
+						desc: "append to " + buf})
+				} else {
+					events = append(events, bufEvent{pos: n.Pos(), kind: eventRebind, node: n})
+				}
+			}
+		case *ast.CallExpr:
+			// copy(buf, ...) / copy(buf[i:], ...) writes through buf.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "copy" && len(n.Args) == 2 {
+				dst := n.Args[0]
+				if se, ok := dst.(*ast.SliceExpr); ok {
+					dst = se.X
+				}
+				if types.ExprString(dst) == buf {
+					events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
+						desc: "copy into " + buf})
+				}
+			}
+		case *ast.IncDecStmt:
+			if ix, ok := n.X.(*ast.IndexExpr); ok && types.ExprString(ix.X) == buf {
+				events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
+					desc: "element write " + types.ExprString(ix)})
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// isAppendOf reports whether call is append(buf, ...).
+func isAppendOf(call *ast.CallExpr, buf string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	return types.ExprString(call.Args[0]) == buf
+}
+
+// reportAliasedWrites applies the positional aliasing rules for one send.
+func reportAliasedWrites(pass *Pass, s sendSite, events []bufEvent) {
+	report := func(e bufEvent) {
+		sendLine := pass.Fset.Position(s.pos).Line
+		pass.Reportf(e.pos,
+			"%s mutates a buffer passed to Comm.%s at line %d: the zero-copy mailbox hands over the backing array; use SendCopy or rebind the buffer to a fresh slice first",
+			e.desc, s.method, sendLine)
+	}
+	// Straight-line: first mutate after the send with no intervening rebind.
+	for _, e := range events {
+		if e.pos <= s.pos {
+			continue
+		}
+		if e.kind == eventRebind {
+			break
+		}
+		report(e)
+		return
+	}
+	// Loop wrap-around: the send re-executes, so a mutation textually before
+	// it (but inside the same loop) follows it on the back edge — unless a
+	// rebind at the top of the loop re-binds the buffer first.
+	if s.loop == nil {
+		return
+	}
+	loopStart, loopEnd := s.loop.Pos(), s.loop.End()
+	for _, e := range events {
+		if e.pos <= loopStart || e.pos >= loopEnd || e.pos > s.pos {
+			continue
+		}
+		if e.kind == eventRebind {
+			return // fresh buffer each iteration
+		}
+		report(e)
+		return
+	}
+}

@@ -1,0 +1,92 @@
+// Package collective is the analysistest fixture for the collective
+// analyzer: collective operations control-dependent on rank-varying
+// conditions.
+package collective
+
+import (
+	"agcm/internal/comm"
+	"agcm/internal/sim"
+)
+
+// RootOnlyBarrier is the classic deadlock: only rank 0 enters the barrier.
+func RootOnlyBarrier(c *comm.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collective Comm\.Barrier is control-dependent on the rank-varying condition`
+	}
+}
+
+// DerivedRank taints variables computed from Rank().
+func DerivedRank(c *comm.Comm, data []float64) []float64 {
+	me := c.Rank()
+	north := me + 1
+	if north < c.Size() {
+		return c.Bcast(0, data) // want `collective Comm\.Bcast is control-dependent on the rank-varying condition`
+	}
+	return data
+}
+
+// ElseBranch is rank-varying on both arms.
+func ElseBranch(c *comm.Comm, data []float64) []float64 {
+	if c.Rank() == 0 {
+		return data
+	} else {
+		return c.Allreduce(data, comm.SumOp) // want `collective Comm\.Allreduce is control-dependent`
+	}
+}
+
+// ProcRank taints through sim.Proc.Rank too.
+func ProcRank(p *sim.Proc, c *comm.Comm) {
+	for i := 0; i < p.Rank(); i++ {
+		c.Barrier() // want `collective Comm\.Barrier is control-dependent`
+	}
+}
+
+// SwitchOnRank flags collectives under rank-varying switch cases.
+func SwitchOnRank(c *comm.Comm, data []float64) {
+	switch c.Rank() {
+	case 0:
+		c.Gatherv(0, data) // want `collective Comm\.Gatherv is control-dependent`
+	default:
+	}
+}
+
+// UnconditionalCollectives are the correct shape: every rank calls them.
+func UnconditionalCollectives(c *comm.Comm, data []float64) []float64 {
+	c.Barrier()
+	out := c.Allreduce(data, comm.SumOp)
+	// Rank-dependent *arguments* are fine — every rank still enters.
+	parts := c.Gatherv(c.Rank()%2, out)
+	_ = parts
+	return out
+}
+
+// ReplicatedCondition branches on data that is identical on every rank:
+// not rank-derived, so not flagged.
+func ReplicatedCondition(c *comm.Comm, steps int, data []float64) []float64 {
+	if steps > 10 {
+		data = c.Bcast(0, data)
+	}
+	return data
+}
+
+// RankDependentPointToPoint is legal: Send/Recv are pairwise, not
+// collective.
+func RankDependentPointToPoint(c *comm.Comm, data []float64) []float64 {
+	if c.Rank() == 0 {
+		c.Send(1, 5, data)
+		return data
+	}
+	if c.Rank() == 1 {
+		return c.Recv(0, 5)
+	}
+	return data
+}
+
+// AgreedBranch uses the escape hatch: the guard is rank-varying to the
+// analyzer but all ranks provably agree (size is replicated).
+func AgreedBranch(c *comm.Comm, data []float64) []float64 {
+	if c.Rank() < c.Size() { // always true on every rank
+		return c.Bcast(0, data) //lint:allow collective every rank satisfies rank < size, all ranks enter
+	}
+	return data
+}

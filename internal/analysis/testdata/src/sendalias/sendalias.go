@@ -1,0 +1,79 @@
+// Package sendalias is the analysistest fixture for the sendalias analyzer:
+// buffers mutated after being handed to the zero-copy Comm.Send.
+package sendalias
+
+import "agcm/internal/comm"
+
+// WriteAfterSend is the basic violation.
+func WriteAfterSend(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	c.Send(1, 7, buf)
+	buf[0] = 1 // want `element write buf\[0\] mutates a buffer passed to Comm\.Send`
+}
+
+// CopyAfterSend catches copy-based mutation.
+func CopyAfterSend(c *comm.Comm, src []float64) {
+	buf := make([]float64, len(src))
+	c.Send(1, 7, buf)
+	copy(buf, src) // want `copy into buf mutates a buffer passed to Comm\.Send`
+}
+
+// AppendAfterSend catches append with possible spare capacity.
+func AppendAfterSend(c *comm.Comm) {
+	buf := make([]float64, 2, 8)
+	c.Send(1, 7, buf)
+	buf = append(buf, 3) // want `append to buf mutates a buffer passed to Comm\.Send`
+	_ = buf
+}
+
+// RebindIsSafe rebinds to a fresh slice before writing again.
+func RebindIsSafe(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	c.Send(1, 7, buf)
+	buf = make([]float64, n)
+	buf[0] = 1
+	c.Send(1, 8, buf)
+}
+
+// SendCopyIsSafe pays for the copy and may reuse the buffer freely.
+func SendCopyIsSafe(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	for i := 0; i < 3; i++ {
+		c.SendCopy(1, 7, buf)
+		buf[0] = float64(i)
+	}
+}
+
+// LoopReuseWithoutRebind re-executes the send with a mutated buffer on the
+// back edge.
+func LoopReuseWithoutRebind(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	for i := 0; i < 3; i++ {
+		buf[0] = float64(i) // want `element write buf\[0\] mutates a buffer passed to Comm\.Send`
+		c.Send(1, 7, buf)
+	}
+}
+
+// LoopFreshBuffer allocates per iteration: the sent array is never touched
+// again.
+func LoopFreshBuffer(c *comm.Comm, n int) {
+	var buf []float64
+	for i := 0; i < 3; i++ {
+		buf = make([]float64, n)
+		buf[0] = float64(i)
+		c.Send(1, 7, buf)
+	}
+}
+
+// IntPlans tracks SendInts the same way.
+func IntPlans(c *comm.Comm, plan []int) {
+	c.SendInts(1, 9, plan)
+	plan[0]++ // want `element write plan\[0\] mutates a buffer passed to Comm\.SendInts`
+}
+
+// HandoffAllowed documents the deliberate-handoff escape hatch.
+func HandoffAllowed(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	c.Send(1, 7, buf)
+	buf[0] = 1 //lint:allow sendalias fixture demonstrates the escape hatch
+}

@@ -40,6 +40,13 @@ const (
 	maxUserTag = tagSpace - 64
 )
 
+// MaxUserTag is the exclusive upper bound of the user tag range: every tag
+// passed to Send/SendCopy/Recv/SendInts/RecvInts/Sendrecv must lie in
+// [0, MaxUserTag).  Tags at or above it are reserved for collective traffic.
+// checkUserTag enforces the bound at run time and the commtag analyzer
+// (internal/analysis) enforces it for constant tags at lint time.
+const MaxUserTag = maxUserTag
+
 // Compile-time guard: the lowest reserved collective tag must stay strictly
 // above the user range, or checkUserTag's bound would no longer protect the
 // collectives.  Adding too many reserved tags makes this constant negative,

@@ -58,6 +58,85 @@ func TestHighUserTagNoGathervCollision(t *testing.T) {
 	})
 }
 
+// TestSplitHighTagNoCollectiveCollision checks the Split interaction with
+// the reserved tag band: user messages at the very top of the user range
+// (maxUserTag-1), pending both across the split boundary on the parent comm
+// and inside a sub-communicator, must survive collectives on BOTH
+// communicators untouched.  Split gives each color a fresh context, so a
+// collision here would mean either the context fold or the reserved-band
+// offset regressed.
+func TestSplitHighTagNoCollectiveCollision(t *testing.T) {
+	const userTag = maxUserTag - 1
+	runWorld(t, 4, func(c *Comm) error {
+		colors := []int{0, 0, 1, 1}
+		keys := []int{0, 1, 0, 1}
+		sub := c.Split(colors, keys, 7)
+		groupBase := 2 * colors[c.Rank()] // world rank of each group's sub rank 0
+
+		// A high-tag user message crossing the split boundary on the
+		// parent comm, queued before any collective runs.
+		if c.Rank() == 0 {
+			c.Send(2, userTag, []float64{42})
+		}
+		// And one at the same tag inside each sub-communicator.
+		if sub.Rank() == 1 {
+			sub.Send(0, userTag, []float64{float64(100 + c.Rank())})
+		}
+
+		// Collectives on both communicators with both messages pending.
+		subParts := sub.Gatherv(0, []float64{float64(c.Rank())})
+		if sub.Rank() == 0 {
+			for r, part := range subParts {
+				if len(part) != 1 || part[0] != float64(groupBase+r) {
+					return fmt.Errorf("sub gather part[%d] = %v, want [%d] (user message leaked into the sub-comm collective)",
+						r, part, groupBase+r)
+				}
+			}
+		}
+		worldParts := c.Gatherv(0, []float64{float64(10 * c.Rank())})
+		if c.Rank() == 0 {
+			for r, part := range worldParts {
+				if len(part) != 1 || part[0] != float64(10*r) {
+					return fmt.Errorf("world gather part[%d] = %v, want [%d] (user message leaked into the parent collective)",
+						r, part, 10*r)
+				}
+			}
+		}
+
+		// Both user messages must still be deliverable, intact.
+		if c.Rank() == 2 {
+			if got := c.Recv(0, userTag); len(got) != 1 || got[0] != 42 {
+				return fmt.Errorf("cross-boundary user message = %v, want [42]", got)
+			}
+		}
+		if sub.Rank() == 0 {
+			want := float64(100 + groupBase + 1)
+			if got := sub.Recv(1, userTag); len(got) != 1 || got[0] != want {
+				return fmt.Errorf("sub-comm user message = %v, want [%v]", got, want)
+			}
+		}
+		return nil
+	})
+}
+
+// TestSplitReservedTagStillPanics checks that checkUserTag guards
+// sub-communicators exactly as it guards the world comm: the reserved band
+// begins at maxUserTag in every context.
+func TestSplitReservedTagStillPanics(t *testing.T) {
+	m := sim.New(4, flatModel{})
+	_, err := m.Run(func(p *sim.Proc) error {
+		c := World(p)
+		sub := c.Split([]int{0, 0, 1, 1}, []int{0, 1, 0, 1}, 3)
+		if sub.Rank() == 0 {
+			sub.Send(1, maxUserTag, []float64{1})
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "reserved for collective traffic") {
+		t.Fatalf("err = %v, want reserved-tag panic message on the split comm", err)
+	}
+}
+
 // TestScattervWithPendingHighTag is the mirrored case for Scatterv.
 func TestScattervWithPendingHighTag(t *testing.T) {
 	const userTag = maxUserTag - 1

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"testing"
+)
+
+// crashRecoveryGolden is the SHA-256 of the crash-recovery experiment's
+// rendered output, captured before the PR 2 determinism fixes.  The
+// experiment's verdict is bit-identical restart state, so its output is a
+// fingerprint of the whole simulation pipeline: any behavior change in sim,
+// comm, dynamics, physics or the filter shifts the virtual clocks and shows
+// up here.  The static-analysis fixes of PR 2 (sorted map iteration in
+// trace, annotations elsewhere) must NOT change this hash — that is the
+// behavior-preservation proof the analyzers' fix-ups are held to.
+const crashRecoveryGolden = "bcf4c3194e3ded26821b2edc1ef7ae04ca1e616d622dc00608adfcee9d63ed5b"
+
+// renderOutput serializes an experiment output deterministically.
+func renderOutput(out *Output) string {
+	var b strings.Builder
+	b.WriteString(out.ID)
+	b.WriteByte('\n')
+	b.WriteString(out.Title)
+	b.WriteByte('\n')
+	for _, tbl := range out.Tables {
+		b.WriteString(tbl.Render())
+		b.WriteString(tbl.CSV())
+	}
+	for _, n := range out.Notes {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCrashRecoveryOutputGolden pins the crash-recovery experiment's exact
+// output.  It re-runs the reference / crash / restart triple and compares the
+// rendered result against the hash captured on the pre-PR-2 tree.
+func TestCrashRecoveryOutputGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full crash-recovery triple in -short mode")
+	}
+	out, err := CrashRecovery(DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(renderOutput(out)))
+	got := hex.EncodeToString(sum[:])
+	if got != crashRecoveryGolden {
+		t.Fatalf("crash-recovery output hash changed:\n got %s\nwant %s\n\noutput:\n%s",
+			got, crashRecoveryGolden, renderOutput(out))
+	}
+}

@@ -22,10 +22,10 @@ import (
 // crashRecoverySteps is the experiment's fixed step budget: long enough for
 // several checkpoint intervals, short enough to run three times.
 const (
-	crashRecoverySteps  = 6
-	checkpointInterval  = 2
-	crashVictim         = 3    // world rank removed mid-run
-	crashWhenOfRunSpan  = 0.75 // crash time as a fraction of the reference run
+	crashRecoverySteps = 6
+	checkpointInterval = 2
+	crashVictim        = 3    // world rank removed mid-run
+	crashWhenOfRunSpan = 0.75 // crash time as a fraction of the reference run
 )
 
 // CrashRecovery runs the reference / crash / restart triple and verifies

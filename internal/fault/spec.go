@@ -8,6 +8,7 @@ package fault
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -90,7 +91,15 @@ func parseParams(s string) (map[string]string, error) {
 // assign writes each parsed parameter into its typed destination and
 // rejects keys the clause does not define.
 func assign(kv map[string]string, dst map[string]any) error {
-	for k, v := range kv {
+	// Visit keys in sorted order so that, with several bad parameters, the
+	// one reported does not depend on map iteration order.
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := kv[k]
 		d, ok := dst[k]
 		if !ok {
 			return fmt.Errorf("unknown parameter %q", k)

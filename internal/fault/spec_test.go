@@ -87,3 +87,16 @@ func TestParseErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestParseErrorDeterministic pins which error Parse reports when several
+// parameters are bad: assign visits keys in sorted order, so the
+// alphabetically first unknown parameter wins regardless of map iteration
+// order.
+func TestParseErrorDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		_, err := Parse("slow:rank=1,zzz=1,aaa=2,mmm=3")
+		if err == nil || !strings.Contains(err.Error(), `unknown parameter "aaa"`) {
+			t.Fatalf("iteration %d: Parse error = %v, want the alphabetically first unknown parameter %q", i, err, "aaa")
+		}
+	}
+}

@@ -359,6 +359,7 @@ func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
 		if m.logEvents {
 			res.Events[r] = p.events
 		}
+		//lint:allow nondeterm each iteration writes Accounts[cat][r] for its own ranged key only; order is unobservable
 		for cat, t := range p.accounts {
 			if _, ok := res.Accounts[cat]; !ok {
 				res.Accounts[cat] = make([]float64, m.n)

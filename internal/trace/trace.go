@@ -30,9 +30,17 @@ type Profile struct {
 // Other returns clock time not covered by accounted categories or waiting:
 // untimed compute and send/recv overheads outside Timed sections.
 func (p Profile) Other() float64 {
+	// Subtract in sorted category order: float subtraction is not
+	// associative, so ranging the map directly would make the result depend
+	// on iteration order and differ bit-for-bit between runs.
 	t := p.Clock - p.Wait
-	for _, v := range p.Busy {
-		t -= v
+	cats := make([]string, 0, len(p.Busy))
+	for c := range p.Busy {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		t -= p.Busy[c]
 	}
 	if t < 0 {
 		return 0
@@ -52,6 +60,7 @@ func Profiles(res *sim.Result) []Profile {
 	out := make([]Profile, n)
 	for r := 0; r < n; r++ {
 		busy := make(map[string]float64)
+		//lint:allow nondeterm each iteration writes busy[cat] for its own ranged key only, so the result is iteration-order independent
 		for cat, perRank := range res.Accounts {
 			busy[cat] = perRank[r]
 		}
@@ -204,6 +213,9 @@ func Summary(res *sim.Result) string {
 		waitSum += p.Wait
 		msgs += p.Messages
 		bytes += p.Bytes
+		// Each key appears once per profile, so for a fixed category the
+		// additions happen in the deterministic profiles slice order.
+		//lint:allow nondeterm per-key accumulation order follows the profiles slice, not the map
 		for c, v := range p.Busy {
 			busy[c] += v
 		}

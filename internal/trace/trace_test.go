@@ -65,6 +65,39 @@ func TestProfiles(t *testing.T) {
 	}
 }
 
+// TestOtherIsBitDeterministic pins the fix for a reproducibility bug the
+// nondeterm analyzer found: Other subtracted Busy values in map iteration
+// order, and float subtraction is not associative, so the result could
+// differ bit-for-bit between calls.  The category values below are chosen
+// so that any two subtraction orders disagree in the last place.
+func TestOtherIsBitDeterministic(t *testing.T) {
+	p := Profile{
+		Clock: 1e16 + 4,
+		Wait:  1,
+		Busy: map[string]float64{
+			"a": 1e16,
+			"b": 1,
+			"c": 0.5,
+			"d": 0.25,
+		},
+	}
+	// Reference: sorted category order, the documented semantics.
+	want := p.Clock - p.Wait
+	for _, c := range []string{"a", "b", "c", "d"} {
+		want -= p.Busy[c]
+	}
+	if want < 0 {
+		want = 0
+	}
+	// Go randomizes map iteration per range statement, so repeated calls
+	// exercise different orders; all must agree bitwise.
+	for i := 0; i < 100; i++ {
+		if got := p.Other(); got != want {
+			t.Fatalf("call %d: Other() = %v, want %v", i, got, want)
+		}
+	}
+}
+
 func TestUtilizationTable(t *testing.T) {
 	res := demoResult(t)
 	out := UtilizationTable(res, "compute", 10)
