@@ -4,14 +4,17 @@
 //	agcmbench -experiment all           # everything, in paper order
 //	agcmbench -experiment table8        # one table
 //	agcmbench -list                     # valid experiment names
+//	agcmbench -bench-json BENCH.json    # host-performance regression report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"agcm/internal/bench"
 	"agcm/internal/experiments"
 )
 
@@ -20,6 +23,8 @@ func main() {
 	steps := flag.Int("steps", 3, "measured time steps per run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	format := flag.String("format", "table", "output format: table or csv")
+	benchJSON := flag.String("bench-json", "",
+		"run the host benchmark suite and write the JSON report to this file ('-' for stdout)")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fatal(fmt.Errorf("unknown format %q (table, csv)", *format))
@@ -27,6 +32,10 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	if *benchJSON != "" {
+		writeBenchJSON(*benchJSON)
 		return
 	}
 	opt := experiments.Options{MeasuredSteps: *steps}
@@ -60,6 +69,26 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// writeBenchJSON runs the internal/bench suite and writes the report —
+// recorded pre-optimization baseline plus the current tree's host numbers —
+// as indented JSON.
+func writeBenchJSON(path string) {
+	rep := bench.NewReport()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func fatal(err error) {

@@ -17,14 +17,62 @@ import (
 // The check is intra-procedural and positional: a write to the sent
 // expression after the call (or anywhere in a loop that re-executes the
 // call) is reported unless the variable was first rebound to a fresh value.
+//
+// The *Into receive family (RecvInto, SendrecvInto, BcastInto, ReduceInto,
+// AllreduceInto, GathervInto, ScattervInto, AlltoallvInto, RingShiftInto,
+// AllgathervInto) participates in the contract from the other side: the
+// scratch argument is written through its backing array (grown from buf[:0]),
+// so handing an in-flight zero-copy send buffer to an *Into call is the same
+// aliasing bug as writing an element — and is flagged the same way.  The
+// safe steady-state idiom pairs SendCopy with *Into receives.
 var Sendalias = &Analyzer{
 	Name: "sendalias",
 	Doc: `flag Comm.Send buffers written after the send
 
 Comm.Send and Comm.SendInts hand over the slice's backing array without
 copying; mutating it afterwards corrupts the in-flight payload.  Rebind the
-variable to a fresh slice, or use SendCopy.`,
+variable to a fresh slice, or use SendCopy.  The *Into receive variants
+write through their scratch argument's backing array, so passing a sent
+buffer as *Into scratch counts as a mutation.`,
 	Run: runSendalias,
+}
+
+// intoScratch maps each Comm *Into receive method to the index of its
+// caller-owned scratch argument — the one the receive writes through.
+var intoScratch = map[string]int{
+	"RecvInto":       2,
+	"SendrecvInto":   5,
+	"BcastInto":      1,
+	"ReduceInto":     2,
+	"AllreduceInto":  1,
+	"GathervInto":    2,
+	"ScattervInto":   2,
+	"AlltoallvInto":  1,
+	"RingShiftInto":  1,
+	"AllgathervInto": 1,
+}
+
+// intoMethodNames lists the intoScratch keys for methodOn matching.
+var intoMethodNames = func() []string {
+	names := make([]string, 0, len(intoScratch))
+	for name := range intoScratch {
+		names = append(names, name)
+	}
+	return names
+}()
+
+// intoScratchMatch reports whether call is a Comm *Into receive whose
+// scratch argument renders as buf, returning the method name.
+func intoScratchMatch(info *types.Info, call *ast.CallExpr, buf string) (string, bool) {
+	name, ok := methodOn(info, call, "comm", "Comm", intoMethodNames...)
+	if !ok {
+		return "", false
+	}
+	idx := intoScratch[name]
+	if idx >= len(call.Args) || types.ExprString(call.Args[idx]) != buf {
+		return "", false
+	}
+	return name, true
 }
 
 func runSendalias(pass *Pass) error {
@@ -153,10 +201,20 @@ func collectBufEvents(pass *Pass, body *ast.BlockStmt, buf string) []bufEvent {
 				} else if len(n.Rhs) == 1 {
 					rhs = n.Rhs[0]
 				}
-				if call, ok := rhs.(*ast.CallExpr); ok && isAppendOf(call, buf) {
-					events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
-						desc: "append to " + buf})
-				} else {
+				rebind := true
+				if call, ok := rhs.(*ast.CallExpr); ok {
+					if isAppendOf(call, buf) {
+						events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
+							desc: "append to " + buf})
+						rebind = false
+					} else if _, into := intoScratchMatch(pass.TypesInfo, call, buf); into {
+						// buf = c.RecvInto(..., buf) writes through the old
+						// backing array before rebinding; the nested CallExpr
+						// visit records the mutation, so record no rebind.
+						rebind = false
+					}
+				}
+				if rebind {
 					events = append(events, bufEvent{pos: n.Pos(), kind: eventRebind, node: n})
 				}
 			}
@@ -171,6 +229,12 @@ func collectBufEvents(pass *Pass, body *ast.BlockStmt, buf string) []bufEvent {
 					events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
 						desc: "copy into " + buf})
 				}
+			}
+			// An *Into receive writes through its scratch argument's
+			// backing array (the receive lands in append(buf[:0], ...)).
+			if name, ok := intoScratchMatch(pass.TypesInfo, n, buf); ok {
+				events = append(events, bufEvent{pos: n.Pos(), kind: eventMutate, node: n,
+					desc: "receive into " + buf + " via Comm." + name})
 			}
 		case *ast.IncDecStmt:
 			if ix, ok := n.X.(*ast.IndexExpr); ok && types.ExprString(ix.X) == buf {

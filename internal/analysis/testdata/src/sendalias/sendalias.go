@@ -77,3 +77,68 @@ func HandoffAllowed(c *comm.Comm, n int) {
 	c.Send(1, 7, buf)
 	buf[0] = 1 //lint:allow sendalias fixture demonstrates the escape hatch
 }
+
+// RecvIntoAfterSend: receiving into the in-flight send buffer writes
+// through the backing array the mailbox still references.
+func RecvIntoAfterSend(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	c.Send(1, 5, buf)
+	c.RecvInto(0, 5, buf) // want `receive into buf via Comm\.RecvInto mutates a buffer passed to Comm\.Send`
+}
+
+// RecvIntoRebindAfterSend: assigning the grown scratch back does not help —
+// the receive landed in the old backing array before the rebind.
+func RecvIntoRebindAfterSend(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	c.Send(1, 5, buf)
+	buf = c.RecvInto(0, 5, buf) // want `receive into buf via Comm\.RecvInto mutates a buffer passed to Comm\.Send`
+	_ = buf
+}
+
+// RecvIntoFreshScratch: receiving into different scratch genuinely rebinds
+// the sent variable, so the later write is safe.
+func RecvIntoFreshScratch(c *comm.Comm, n int, scratch []float64) {
+	buf := make([]float64, n)
+	c.Send(1, 5, buf)
+	buf = c.RecvInto(0, 5, scratch)
+	buf[0] = 1
+	_ = buf
+}
+
+// SendCopyThenRecvInto is the allocation-free steady-state idiom: SendCopy
+// hands the mailbox a pooled copy, freeing the scratch for the receive.
+func SendCopyThenRecvInto(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	for i := 0; i < 3; i++ {
+		c.SendCopy(1, 5, buf)
+		buf = c.RecvInto(0, 5, buf)
+	}
+	_ = buf
+}
+
+// LoopRecvIntoThenSend: the zero-copy send re-executes, and the next
+// iteration's receive scribbles over the in-flight payload.
+func LoopRecvIntoThenSend(c *comm.Comm, n int) {
+	buf := make([]float64, n)
+	for i := 0; i < 3; i++ {
+		buf = c.RecvInto(0, 5, buf) // want `receive into buf via Comm\.RecvInto mutates a buffer passed to Comm\.Send`
+		c.Send(1, 5, buf)
+	}
+	_ = buf
+}
+
+// ReduceIntoScratchAfterSend: collective *Into scratch participates in the
+// same contract as point-to-point receives.
+func ReduceIntoScratchAfterSend(c *comm.Comm, data, out []float64) {
+	c.Send(1, 5, out)
+	out = c.ReduceInto(0, data, out, comm.SumOp) // want `receive into out via Comm\.ReduceInto mutates a buffer passed to Comm\.Send`
+	_ = out
+}
+
+// SendrecvIntoDataIsSafe: the data argument of SendrecvInto is sent by
+// copy, so only its scratch argument counts as a mutation.
+func SendrecvIntoDataIsSafe(c *comm.Comm, data, scratch []float64) {
+	scratch = c.SendrecvInto(1, 5, data, 0, 5, scratch)
+	data[0] = 1
+	_ = scratch
+}

@@ -1,0 +1,160 @@
+// Package bench is the host-performance regression harness behind
+// `agcmbench -bench-json`: it runs the headline whole-model benchmarks
+// under testing.Benchmark (which works outside `go test`) and reports host
+// nanoseconds, allocations and bytes per operation alongside the
+// virtual-machine metrics each experiment produces.
+//
+// Host nanoseconds are machine-dependent and only comparable on the same
+// build host; allocation counts are deterministic per tree and are the
+// primary regression signal.  The package pins the pre-optimization
+// Baseline so that BENCH_*.json artifacts carry their own point of
+// comparison.
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"agcm/internal/core"
+	"agcm/internal/experiments"
+	"agcm/internal/grid"
+	"agcm/internal/machine"
+	"agcm/internal/physics"
+)
+
+// Opt is the per-iteration experiment configuration shared by the go test
+// benchmarks and the -bench-json harness.
+var Opt = experiments.Options{MeasuredSteps: 1}
+
+// Result is one benchmark's host-side measurements plus the virtual-machine
+// metrics it reports via b.ReportMetric.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations,omitempty"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the BENCH_*.json document: the recorded pre-optimization
+// baseline next to the current tree's numbers.
+type Report struct {
+	Note     string   `json:"note"`
+	Baseline []Result `json:"baseline"`
+	Current  []Result `json:"current"`
+}
+
+// Baseline is the suite's result on this tree immediately before the
+// allocation-free hot-path work, recorded on the reference build host.
+// Virtual-machine metrics are bit-reproducible and must not drift; host
+// timings and allocation counts are what the optimization moves.
+var Baseline = []Result{
+	{
+		Name: "Fig1Breakdown", NsPerOp: 472718325,
+		AllocsPerOp: 1443294, BytesPerOp: 187624880,
+		Metrics: map[string]float64{
+			"filter-pct-dyn-16n":  59.20,
+			"filter-pct-dyn-240n": 75.20,
+		},
+	},
+	{
+		Name: "WholeStepLBFFT", NsPerOp: 140657144,
+		AllocsPerOp: 290968, BytesPerOp: 112378637,
+		Metrics: map[string]float64{
+			"virtual-s/day": 87.93,
+		},
+	},
+}
+
+// cellFloat parses a numeric table cell (strips % and x suffixes).
+func cellFloat(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("unparsable cell %q: %v", s, err)
+	}
+	return v
+}
+
+// Fig1Breakdown regenerates Figure 1's component shares once per iteration:
+// the convolution-ring filter on the simulated Paragon at 4x4 and 8x30 —
+// the paper's motivating breakdown and the repo's heaviest single
+// experiment.
+func Fig1Breakdown(b *testing.B) {
+	var out *experiments.Output
+	for i := 0; i < b.N; i++ {
+		var err error
+		out, err = experiments.Figure1(Opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := out.Tables[0].Rows
+	b.ReportMetric(cellFloat(b, rows[0][4]), "filter-pct-dyn-16n")
+	b.ReportMetric(cellFloat(b, rows[1][4]), "filter-pct-dyn-240n")
+}
+
+// WholeStepLBFFT measures one full simulated AGCM step (dynamics + filter +
+// physics) on an 8x8 T3D with the adopted optimizations — the end-to-end
+// cost of the simulation harness itself.
+func WholeStepLBFFT(b *testing.B) {
+	cfg := core.Config{
+		Spec:    grid.TwoByTwoPointFive(9),
+		Machine: machine.CrayT3D(),
+		MeshPy:  8, MeshPx: 8,
+		Filter:        core.FilterFFTBalanced,
+		PhysicsScheme: physics.Pairwise,
+		PhysicsRounds: 2,
+	}
+	var rep *core.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = core.Run(cfg, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.Total, "virtual-s/day")
+}
+
+// Suite lists the regression benchmarks in the order they appear in the
+// JSON artifact.
+var Suite = []struct {
+	Name string
+	F    func(*testing.B)
+}{
+	{"Fig1Breakdown", Fig1Breakdown},
+	{"WholeStepLBFFT", WholeStepLBFFT},
+}
+
+// Run executes the suite under testing.Benchmark and collects the results.
+// Allocation statistics are captured unconditionally by the testing
+// runtime, so no -benchmem flag is needed.
+func Run() []Result {
+	results := make([]Result, 0, len(Suite))
+	for _, s := range Suite {
+		r := testing.Benchmark(s.F)
+		results = append(results, Result{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Metrics:     r.Extra,
+		})
+	}
+	return results
+}
+
+// NewReport runs the suite and pairs it with the recorded baseline.
+func NewReport() Report {
+	return Report{
+		Note: "host ns/op are comparable only on the same build host; " +
+			"allocs/op and the virtual-machine metrics are deterministic per tree",
+		Baseline: Baseline,
+		Current:  Run(),
+	}
+}

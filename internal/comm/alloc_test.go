@@ -1,0 +1,40 @@
+package comm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAllreduceIntoAllocFree pins the steady-state allocation count of the
+// AllreduceInto hot path at zero.  testing.AllocsPerRun counts mallocs
+// process-wide, so every rank of the machine — not just the measured one —
+// must run its rounds allocation-free; the warmup rounds populate the
+// transport's message free lists and payload pools first.  AllocsPerRun
+// invokes the measured function runs+1 times, so the partner ranks loop
+// exactly runs+1 collective rounds to stay matched.
+func TestAllreduceIntoAllocFree(t *testing.T) {
+	const warm, runs = 5, 50
+	runWorld(t, 4, func(c *Comm) error {
+		data := make([]float64, 64)
+		for i := range data {
+			data[i] = float64(c.Rank()*1000 + i)
+		}
+		out := make([]float64, 0, len(data))
+		round := func() {
+			out = c.AllreduceInto(data, out, SumOp)
+		}
+		for i := 0; i < warm; i++ {
+			round()
+		}
+		if c.Rank() == 0 {
+			if n := testing.AllocsPerRun(runs, round); n != 0 {
+				return fmt.Errorf("AllreduceInto allocated %.1f times per round; want 0", n)
+			}
+			return nil
+		}
+		for i := 0; i < runs+1; i++ {
+			round()
+		}
+		return nil
+	})
+}

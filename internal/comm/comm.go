@@ -60,6 +60,23 @@ type Comm struct {
 	world []int // members' world ranks, in comm rank order
 	me    int   // this process's rank within the comm
 	ctx   int   // context id isolating this comm's traffic
+	scr   *scratch
+}
+
+// scratch holds per-communicator reusable buffers for the internal stages of
+// the collectives, so their steady state allocates nothing.  A Comm's methods
+// are only ever called from its own rank's goroutine, so no locking is
+// needed.
+type scratch struct {
+	reduce []float64 // tree-reduce receive staging
+}
+
+// scratchBufs lazily allocates the collective scratch space.
+func (c *Comm) scratchBufs() *scratch {
+	if c.scr == nil {
+		c.scr = &scratch{}
+	}
+	return c.scr
 }
 
 // World returns the communicator containing every rank of the machine.
@@ -143,20 +160,32 @@ func (c *Comm) Split(colors, keys []int, newCtx int) *Comm {
 // will be reused.
 func (c *Comm) Send(dst, tag int, data []float64) {
 	c.checkUserTag(tag)
-	c.p.Send(c.WorldRank(dst), c.tag(tag), data, len(data)*bytesPerFloat)
+	c.p.SendFloats(c.WorldRank(dst), c.tag(tag), data, len(data)*bytesPerFloat)
 }
 
-// SendCopy transmits a private copy of data to comm rank dst.
+// SendCopy transmits a private copy of data to comm rank dst: the caller may
+// reuse data immediately.  The copy is drawn from the receiver's payload
+// pool, so a steady-state SendCopy/RecvInto exchange allocates nothing.
 func (c *Comm) SendCopy(dst, tag int, data []float64) {
-	buf := make([]float64, len(data))
-	copy(buf, data)
-	c.Send(dst, tag, buf)
+	c.checkUserTag(tag)
+	c.p.SendFloatsCopy(c.WorldRank(dst), c.tag(tag), data, len(data)*bytesPerFloat)
 }
 
-// Recv receives a []float64 from comm rank src.
+// Recv receives a []float64 from comm rank src.  Ownership of the returned
+// slice transfers to the caller.
 func (c *Comm) Recv(src, tag int) []float64 {
 	c.checkUserTag(tag)
-	return c.p.Recv(c.WorldRank(src), c.tag(tag)).([]float64)
+	return c.p.RecvFloats(c.WorldRank(src), c.tag(tag))
+}
+
+// RecvInto receives a []float64 from comm rank src into buf (grown from
+// buf[:0] as needed) and returns the filled slice.  The returned slice
+// aliases buf's backing array, which the caller owns again once the call
+// returns; pairing SendCopy with RecvInto keeps the exchange allocation-free
+// at steady state.  Timing is identical to Recv.
+func (c *Comm) RecvInto(src, tag int, buf []float64) []float64 {
+	c.checkUserTag(tag)
+	return c.p.RecvFloatsInto(c.WorldRank(src), c.tag(tag), buf)
 }
 
 // SendInts transmits an int slice (bookkeeping metadata, e.g. row plans).
@@ -181,10 +210,18 @@ func (c *Comm) checkUserTag(tag int) {
 
 // Sendrecv exchanges data with a partner rank in one logical step: it posts
 // the send before blocking on the receive, so symmetric pairwise exchanges
-// cannot deadlock.
+// cannot deadlock.  The caller may reuse data immediately.
 func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
-	c.Send(dst, sendTag, data)
-	return c.Recv(src, recvTag)
+	return c.SendrecvInto(dst, sendTag, data, src, recvTag, nil)
+}
+
+// SendrecvInto is Sendrecv with a caller-owned receive buffer: the send is a
+// pooled copy (data is reusable immediately) and the reply lands in buf via
+// RecvInto.  With a persistent buf the steady-state exchange allocates
+// nothing.
+func (c *Comm) SendrecvInto(dst, sendTag int, data []float64, src, recvTag int, buf []float64) []float64 {
+	c.SendCopy(dst, sendTag, data)
+	return c.RecvInto(src, recvTag, buf)
 }
 
 // Barrier blocks until every rank in the communicator has entered it, using
@@ -210,15 +247,39 @@ func (c *Comm) Bcast(root int, data []float64) []float64 {
 	vrank := (c.me - root + n) % n
 	if vrank != 0 {
 		src := c.findBcastParent(vrank)
-		data = c.p.Recv(c.WorldRank((src+root)%n), c.tag(tagBcast)).([]float64)
+		data = c.p.RecvFloats(c.WorldRank((src+root)%n), c.tag(tagBcast))
 	}
 	// Forward to children: standard binomial tree on virtual ranks.
 	for dist := nextPow2(n); dist >= 1; dist /= 2 {
 		if vrank%(2*dist) == 0 && vrank+dist < n {
-			c.p.Send(c.WorldRank((vrank+dist+root)%n), c.tag(tagBcast), data, len(data)*bytesPerFloat)
+			c.p.SendFloats(c.WorldRank((vrank+dist+root)%n), c.tag(tagBcast), data, len(data)*bytesPerFloat)
 		}
 	}
 	return data
+}
+
+// BcastInto distributes root's buffer to all ranks along the same binomial
+// tree as Bcast, but every hop copies: the root passes its data in buf,
+// non-roots receive into buf (grown from buf[:0] as needed), and all ranks
+// may reuse the returned slice — which they own — immediately.  With
+// persistent buffers the steady state allocates nothing.  Timing is
+// identical to Bcast.
+func (c *Comm) BcastInto(root int, buf []float64) []float64 {
+	n := len(c.world)
+	if n == 1 {
+		return buf
+	}
+	vrank := (c.me - root + n) % n
+	if vrank != 0 {
+		src := c.findBcastParent(vrank)
+		buf = c.p.RecvFloatsInto(c.WorldRank((src+root)%n), c.tag(tagBcast), buf)
+	}
+	for dist := nextPow2(n); dist >= 1; dist /= 2 {
+		if vrank%(2*dist) == 0 && vrank+dist < n {
+			c.p.SendFloatsCopy(c.WorldRank((vrank+dist+root)%n), c.tag(tagBcast), buf, len(buf)*bytesPerFloat)
+		}
+	}
+	return buf
 }
 
 // findBcastParent returns the virtual rank that sends to vrank in the
@@ -274,21 +335,35 @@ func MinOp(dst, src []float64) {
 // Reduction arithmetic is charged to the virtual clock (one flop per
 // element per combine).
 func (c *Comm) Reduce(root int, data []float64, op Op) []float64 {
+	acc := c.ReduceInto(root, data, make([]float64, 0, len(data)), op)
+	if c.me != root {
+		return nil
+	}
+	return acc
+}
+
+// ReduceInto is Reduce accumulating into the caller-owned buffer out (grown
+// from out[:0] as needed).  The root returns the combined vector, aliasing
+// out's backing array; other ranks use out as scratch and return nil.  The
+// internal tree stages stage receives in per-Comm scratch and send pooled
+// copies, so with a persistent out the steady state allocates nothing.
+// Timing is identical to Reduce.
+func (c *Comm) ReduceInto(root int, data, out []float64, op Op) []float64 {
 	n := len(c.world)
-	acc := make([]float64, len(data))
-	copy(acc, data)
+	s := c.scratchBufs()
+	acc := append(out[:0], data...)
 	vrank := (c.me - root + n) % n
 	for dist := 1; dist < n; dist *= 2 {
 		if vrank&dist != 0 {
 			// This node's subtree is combined; pass it up and exit.
 			dst := (vrank - dist + root + n) % n
-			c.p.Send(c.WorldRank(dst), c.tag(tagReduce), acc, len(acc)*bytesPerFloat)
+			c.p.SendFloatsCopy(c.WorldRank(dst), c.tag(tagReduce), acc, len(acc)*bytesPerFloat)
 			return nil
 		}
 		if vrank+dist < n {
 			src := (vrank + dist + root) % n
-			other := c.p.Recv(c.WorldRank(src), c.tag(tagReduce)).([]float64)
-			op(acc, other)
+			s.reduce = c.p.RecvFloatsInto(c.WorldRank(src), c.tag(tagReduce), s.reduce)
+			op(acc, s.reduce)
 			c.p.Compute(float64(len(acc)))
 		}
 	}
@@ -303,6 +378,18 @@ func (c *Comm) Allreduce(data []float64, op Op) []float64 {
 		acc = nil
 	}
 	return c.Bcast(0, acc)
+}
+
+// AllreduceInto is Allreduce with a caller-owned result buffer: the combined
+// vector lands in out (grown from out[:0] as needed) on every rank.  With a
+// persistent out the steady state allocates nothing.  Timing is identical to
+// Allreduce (same reduce-to-0 + broadcast message pattern).
+func (c *Comm) AllreduceInto(data, out []float64, op Op) []float64 {
+	res := c.ReduceInto(0, data, out, op)
+	if c.me == 0 {
+		out = res
+	}
+	return c.BcastInto(0, out)
 }
 
 // AllreduceScalar is a convenience wrapper for single-value reductions.
@@ -332,7 +419,7 @@ func (c *Comm) Gather(root int, data []float64) []float64 {
 // slice per rank in comm rank order.  Non-roots return nil.
 func (c *Comm) Gatherv(root int, data []float64) [][]float64 {
 	if c.me != root {
-		c.p.Send(c.WorldRank(root), c.tag(tagGatherData), data, len(data)*bytesPerFloat)
+		c.p.SendFloats(c.WorldRank(root), c.tag(tagGatherData), data, len(data)*bytesPerFloat)
 		return nil
 	}
 	parts := make([][]float64, len(c.world))
@@ -341,9 +428,32 @@ func (c *Comm) Gatherv(root int, data []float64) [][]float64 {
 			parts[r] = data
 			continue
 		}
-		parts[r] = c.p.Recv(c.WorldRank(r), c.tag(tagGatherData)).([]float64)
+		parts[r] = c.p.RecvFloats(c.WorldRank(r), c.tag(tagGatherData))
 	}
 	return parts
+}
+
+// GathervInto is Gatherv with caller-owned receive buffers: on the root,
+// out[r] (grown from out[r][:0]) receives rank r's contribution and
+// out[root] receives a copy of data; non-roots send a pooled copy of data —
+// reusable immediately — and return nil.  With persistent buffers the steady
+// state allocates nothing.  Timing is identical to Gatherv.
+func (c *Comm) GathervInto(root int, data []float64, out [][]float64) [][]float64 {
+	if c.me != root {
+		c.p.SendFloatsCopy(c.WorldRank(root), c.tag(tagGatherData), data, len(data)*bytesPerFloat)
+		return nil
+	}
+	if len(out) != len(c.world) {
+		panic(fmt.Sprintf("comm: GathervInto needs %d buffers, got %d", len(c.world), len(out)))
+	}
+	for r := range c.world {
+		if r == root {
+			out[r] = append(out[r][:0], data...)
+			continue
+		}
+		out[r] = c.p.RecvFloatsInto(c.WorldRank(r), c.tag(tagGatherData), out[r])
+	}
+	return out
 }
 
 // Scatterv distributes parts[i] from root to comm rank i and returns each
@@ -357,11 +467,32 @@ func (c *Comm) Scatterv(root int, parts [][]float64) []float64 {
 			if r == root {
 				continue
 			}
-			c.p.Send(c.WorldRank(r), c.tag(tagGatherData), parts[r], len(parts[r])*bytesPerFloat)
+			c.p.SendFloats(c.WorldRank(r), c.tag(tagGatherData), parts[r], len(parts[r])*bytesPerFloat)
 		}
 		return parts[root]
 	}
-	return c.p.Recv(c.WorldRank(root), c.tag(tagGatherData)).([]float64)
+	return c.p.RecvFloats(c.WorldRank(root), c.tag(tagGatherData))
+}
+
+// ScattervInto is Scatterv with pooled sends and a caller-owned receive
+// buffer: the root may reuse every parts[i] immediately, and each rank's
+// share lands in buf (grown from buf[:0] as needed).  With persistent
+// buffers the steady state allocates nothing.  Timing is identical to
+// Scatterv.
+func (c *Comm) ScattervInto(root int, parts [][]float64, buf []float64) []float64 {
+	if c.me == root {
+		if len(parts) != len(c.world) {
+			panic(fmt.Sprintf("comm: ScattervInto needs %d parts, got %d", len(c.world), len(parts)))
+		}
+		for r := range c.world {
+			if r == root {
+				continue
+			}
+			c.p.SendFloatsCopy(c.WorldRank(r), c.tag(tagGatherData), parts[r], len(parts[r])*bytesPerFloat)
+		}
+		return append(buf[:0], parts[root]...)
+	}
+	return c.p.RecvFloatsInto(c.WorldRank(root), c.tag(tagGatherData), buf)
 }
 
 // Alltoallv sends parts[i] to comm rank i and returns the slice received
@@ -377,11 +508,36 @@ func (c *Comm) Alltoallv(parts [][]float64) [][]float64 {
 	// Post all sends first (eager), then drain receives: deadlock-free.
 	for off := 1; off < n; off++ {
 		dst := (c.me + off) % n
-		c.p.Send(c.WorldRank(dst), c.tag(tagAlltoall), parts[dst], len(parts[dst])*bytesPerFloat)
+		c.p.SendFloats(c.WorldRank(dst), c.tag(tagAlltoall), parts[dst], len(parts[dst])*bytesPerFloat)
 	}
 	for off := 1; off < n; off++ {
 		src := (c.me - off + n) % n
-		out[src] = c.p.Recv(c.WorldRank(src), c.tag(tagAlltoall)).([]float64)
+		out[src] = c.p.RecvFloats(c.WorldRank(src), c.tag(tagAlltoall))
+	}
+	return out
+}
+
+// AlltoallvInto is Alltoallv with pooled sends and caller-owned receive
+// buffers: out[src] (grown from out[src][:0]) receives rank src's part, the
+// local part is copied into out[me], and the caller may reuse every parts[i]
+// immediately.  With persistent buffers the steady state allocates nothing.
+// Timing is identical to Alltoallv.
+func (c *Comm) AlltoallvInto(parts, out [][]float64) [][]float64 {
+	n := len(c.world)
+	if len(parts) != n {
+		panic(fmt.Sprintf("comm: AlltoallvInto needs %d parts, got %d", n, len(parts)))
+	}
+	if len(out) != n {
+		panic(fmt.Sprintf("comm: AlltoallvInto needs %d out buffers, got %d", n, len(out)))
+	}
+	for off := 1; off < n; off++ {
+		dst := (c.me + off) % n
+		c.p.SendFloatsCopy(c.WorldRank(dst), c.tag(tagAlltoall), parts[dst], len(parts[dst])*bytesPerFloat)
+	}
+	out[c.me] = append(out[c.me][:0], parts[c.me]...)
+	for off := 1; off < n; off++ {
+		src := (c.me - off + n) % n
+		out[src] = c.p.RecvFloatsInto(c.WorldRank(src), c.tag(tagAlltoall), out[src])
 	}
 	return out
 }
@@ -392,8 +548,20 @@ func (c *Comm) RingShift(data []float64) []float64 {
 	n := len(c.world)
 	next := (c.me + 1) % n
 	prev := (c.me - 1 + n) % n
-	c.p.Send(c.WorldRank(next), c.tag(tagShift), data, len(data)*bytesPerFloat)
-	return c.p.Recv(c.WorldRank(prev), c.tag(tagShift)).([]float64)
+	c.p.SendFloats(c.WorldRank(next), c.tag(tagShift), data, len(data)*bytesPerFloat)
+	return c.p.RecvFloats(c.WorldRank(prev), c.tag(tagShift))
+}
+
+// RingShiftInto is RingShift with a pooled send and a caller-owned receive
+// buffer: data is reusable immediately and the previous rank's slice lands
+// in buf (grown from buf[:0] as needed).  With a persistent buf the steady
+// state allocates nothing.  Timing is identical to RingShift.
+func (c *Comm) RingShiftInto(data, buf []float64) []float64 {
+	n := len(c.world)
+	next := (c.me + 1) % n
+	prev := (c.me - 1 + n) % n
+	c.p.SendFloatsCopy(c.WorldRank(next), c.tag(tagShift), data, len(data)*bytesPerFloat)
+	return c.p.RecvFloatsInto(c.WorldRank(prev), c.tag(tagShift), buf)
 }
 
 // Allgatherv gathers every rank's contribution on every rank (by rank order)
@@ -409,6 +577,31 @@ func (c *Comm) Allgatherv(data []float64) [][]float64 {
 		cur = c.RingShift(cur)
 		curSrc = (curSrc - 1 + n) % n
 		out[curSrc] = cur
+	}
+	return out
+}
+
+// AllgathervInto is Allgatherv with caller-owned receive buffers: rank r's
+// contribution lands in out[r] (grown from out[r][:0]), with out[me]
+// receiving a copy of data, and the caller may reuse data immediately.  Each
+// ring hop forwards a pooled copy, so with persistent buffers the steady
+// state allocates nothing.  The message pattern — P-1 hops of each segment
+// around the ring — is identical to Allgatherv, and so is the timing.
+func (c *Comm) AllgathervInto(data []float64, out [][]float64) [][]float64 {
+	n := len(c.world)
+	if len(out) != n {
+		panic(fmt.Sprintf("comm: AllgathervInto needs %d out buffers, got %d", n, len(out)))
+	}
+	next := (c.me + 1) % n
+	prev := (c.me - 1 + n) % n
+	out[c.me] = append(out[c.me][:0], data...)
+	cur := data
+	curSrc := c.me
+	for step := 1; step < n; step++ {
+		c.p.SendFloatsCopy(c.WorldRank(next), c.tag(tagShift), cur, len(cur)*bytesPerFloat)
+		curSrc = (curSrc - 1 + n) % n
+		out[curSrc] = c.p.RecvFloatsInto(c.WorldRank(prev), c.tag(tagShift), out[curSrc])
+		cur = out[curSrc]
 	}
 	return out
 }

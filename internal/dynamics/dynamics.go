@@ -114,6 +114,10 @@ type Dynamics struct {
 	filter filter.Parallel
 	vars   []filter.Variable
 	kv     float64 // implicit vertical diffusion number (0 = off)
+
+	// ex owns the persistent halo-exchange staging buffers, keeping the
+	// twice-per-step ghost updates allocation-free.
+	ex *grid.Exchanger
 }
 
 type tendencies struct {
@@ -124,7 +128,10 @@ type tendencies struct {
 // unfiltered (which is numerically unstable at polar-CFL-violating time
 // steps — exactly the configuration the paper's filter exists to prevent).
 func New(cart *comm.Cart2D, spec grid.Spec, local grid.Local, dt float64, flt filter.Parallel) *Dynamics {
-	d := &Dynamics{cart: cart, spec: spec, local: local, dt: dt, filter: flt}
+	d := &Dynamics{
+		cart: cart, spec: spec, local: local, dt: dt, filter: flt,
+		ex: grid.NewExchanger(cart),
+	}
 	n := local.Nlat()
 	d.cosC = make([]float64, n+2)
 	d.cosN = make([]float64, n+2)

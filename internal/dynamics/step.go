@@ -36,7 +36,7 @@ func (d *Dynamics) Step(s *State) {
 	p.Timed("dynamics-comm", func() {
 		// T and Q ride along: the full model advects its tracers, so
 		// their ghost points are part of the per-step exchange volume.
-		grid.ExchangeHalos(d.cart, s.U, s.V, s.H, s.T, s.Q)
+		d.ex.Exchange(s.U, s.V, s.H, s.T, s.Q)
 		d.applyPolarBC(s)
 	})
 
@@ -46,7 +46,7 @@ func (d *Dynamics) Step(s *State) {
 		// The smoothing moved the interior; refresh the ghost points it
 		// invalidated so the tendency stencils see one consistent state
 		// on every decomposition.
-		grid.ExchangeHalos(d.cart, s.U, s.V, s.H)
+		d.ex.Exchange(s.U, s.V, s.H)
 		d.applyPolarBC(s)
 	})
 
@@ -104,20 +104,30 @@ func (d *Dynamics) horizontalSmoothing(s *State) {
 			// the zonal two-grid damping is kappa everywhere.
 			ratioN := (cosN * dlam / dphi) * (cosN * dlam / dphi)
 			ratioS := (cosS * dlam / dphi) * (cosS * dlam / dphi)
+			// Row-sliced stencil: fC/fN/fS are the halo-padded state rows
+			// (column i at offset (i+1)*nl), sc the halo-free scratch row.
+			fRow, fN_, fS_ := f.RowData(j), f.RowData(j+1), f.RowData(j-1)
+			sc := scratch.RowData(j)
 			for i := 0; i < nlon; i++ {
+				c := (i + 1) * nl
+				t := i * nl
 				for k := 0; k < nl; k++ {
-					q := f.At(j, i, k)
-					zon := f.At(j, i+1, k) - 2*q + f.At(j, i-1, k)
-					mer := (ratioN*cosN*(f.At(j+1, i, k)-q) -
-						ratioS*cosS*(q-f.At(j-1, i, k))) / cosC
-					scratch.Set(j, i, k, DiffusionKappa*(zon+mer))
+					q := fRow[c+k]
+					zon := fRow[c+nl+k] - 2*q + fRow[c-nl+k]
+					mer := (ratioN*cosN*(fN_[c+k]-q) -
+						ratioS*cosS*(q-fS_[c+k])) / cosC
+					sc[t+k] = DiffusionKappa * (zon + mer)
 				}
 			}
 		}
 		for j := 0; j < nlat; j++ {
+			fRow := f.RowData(j)
+			sc := scratch.RowData(j)
 			for i := 0; i < nlon; i++ {
+				c := (i + 1) * nl
+				t := i * nl
 				for k := 0; k < nl; k++ {
-					f.Add(j, i, k, scratch.At(j, i, k))
+					fRow[c+k] += sc[t+k]
 				}
 			}
 		}
@@ -172,42 +182,50 @@ func (d *Dynamics) computeTendencies(s *State) {
 		rdx := 1 / (a * cosC * dlam) // 1/dx at centres
 		rdy := 1 / (a * dphi)
 		northPole := l.GlobalLat(j) == spec.Nlat-1
+		rdxN := 1 / (a*cosN*dlam + 1e-30)
+		// Row-sliced stencil access: column i of the halo-1 state rows
+		// starts at (i+1)*nl; the halo-free tendency rows at i*nl.
+		uC, uN, uS := s.U.RowData(j), s.U.RowData(j+1), s.U.RowData(j-1)
+		vC, vN, vS := s.V.RowData(j), s.V.RowData(j+1), s.V.RowData(j-1)
+		hC, hN, hS := s.H.RowData(j), s.H.RowData(j+1), s.H.RowData(j-1)
+		duR, dvR, dhR := d.tend.du.RowData(j), d.tend.dv.RowData(j), d.tend.dh.RowData(j)
 		for i := 0; i < nlon; i++ {
+			c := (i + 1) * nl
+			t := i * nl
 			for k := 0; k < nl; k++ {
-				u := s.U.At(j, i, k)
-				v := s.V.At(j, i, k)
-				h := s.H.At(j, i, k)
+				e := c + nl + k // east neighbour (i+1)
+				w := c - nl + k // west neighbour (i-1)
+				u := uC[c+k]
+				v := vC[c+k]
+				h := hC[c+k]
 
 				// --- u momentum at the east face of (j,i) ---
-				vbar := 0.25 * (s.V.At(j, i, k) + s.V.At(j, i+1, k) +
-					s.V.At(j-1, i, k) + s.V.At(j-1, i+1, k))
-				dudx := (s.U.At(j, i+1, k) - s.U.At(j, i-1, k)) * 0.5 * rdx
-				dudy := (s.U.At(j+1, i, k) - s.U.At(j-1, i, k)) * 0.5 * rdy
-				dhdx := (s.H.At(j, i+1, k) - h) * rdx
-				d.tend.du.Set(j, i, k, fC*vbar-g*dhdx-u*dudx-vbar*dudy)
+				vbar := 0.25 * (vC[c+k] + vC[e] + vS[c+k] + vS[e])
+				dudx := (uC[e] - uC[w]) * 0.5 * rdx
+				dudy := (uN[c+k] - uS[c+k]) * 0.5 * rdy
+				dhdx := (hC[e] - h) * rdx
+				duR[t+k] = fC*vbar - g*dhdx - u*dudx - vbar*dudy
 
 				// --- v momentum at the north face of (j,i) ---
 				if northPole {
-					d.tend.dv.Set(j, i, k, 0) // pole face: v stays 0
+					dvR[t+k] = 0 // pole face: v stays 0
 				} else {
-					ubar := 0.25 * (s.U.At(j, i, k) + s.U.At(j, i-1, k) +
-						s.U.At(j+1, i, k) + s.U.At(j+1, i-1, k))
-					rdxN := 1 / (a*cosN*dlam + 1e-30)
-					dvdx := (s.V.At(j, i+1, k) - s.V.At(j, i-1, k)) * 0.5 * rdxN
-					dvdy := (s.V.At(j+1, i, k) - s.V.At(j-1, i, k)) * 0.5 * rdy
-					dhdy := (s.H.At(j+1, i, k) - h) * rdy
-					d.tend.dv.Set(j, i, k, -fN*ubar-g*dhdy-ubar*dvdx-v*dvdy)
+					ubar := 0.25 * (uC[c+k] + uC[w] + uN[c+k] + uN[w])
+					dvdx := (vC[e] - vC[w]) * 0.5 * rdxN
+					dvdy := (vN[c+k] - vS[c+k]) * 0.5 * rdy
+					dhdy := (hN[c+k] - h) * rdy
+					dvR[t+k] = -fN*ubar - g*dhdy - ubar*dvdx - v*dvdy
 				}
 
 				// --- continuity at the centre of (j,i), flux form ---
 				// Zonal mass fluxes through the east and west faces.
-				fe := 0.5 * (h + s.H.At(j, i+1, k)) * u
-				fw := 0.5 * (s.H.At(j, i-1, k) + h) * s.U.At(j, i-1, k)
+				fe := 0.5 * (h + hC[e]) * u
+				fw := 0.5 * (hC[w] + h) * uC[w]
 				// Meridional fluxes through the north and south faces,
 				// weighted by cos(lat) at the face.
-				fn := 0.5 * (h + s.H.At(j+1, i, k)) * cosN * v
-				fs := 0.5 * (s.H.At(j-1, i, k) + h) * cosS * s.V.At(j-1, i, k)
-				d.tend.dh.Set(j, i, k, -(fe-fw)*rdx-(fn-fs)*rdy/cosC)
+				fn := 0.5 * (h + hN[c+k]) * cosN * v
+				fs := 0.5 * (hS[c+k] + h) * cosS * vS[c+k]
+				dhR[t+k] = -(fe-fw)*rdx - (fn-fs)*rdy/cosC
 			}
 		}
 	}
@@ -223,19 +241,23 @@ func (d *Dynamics) advance(s *State) {
 
 	update := func(cur, prev, tend *grid.Field) {
 		for j := 0; j < nlat; j++ {
+			cR, pR := cur.RowData(j), prev.RowData(j)
+			tR := tend.RowData(j)
 			for i := 0; i < nlon; i++ {
+				co := (i + 1) * nl
+				to := i * nl
 				for k := 0; k < nl; k++ {
-					c := cur.At(j, i, k)
+					c := cR[co+k]
 					var next float64
 					if first {
-						next = c + dt*tend.At(j, i, k)
+						next = c + dt*tR[to+k]
 					} else {
-						next = prev.At(j, i, k) + 2*dt*tend.At(j, i, k)
+						next = pR[co+k] + 2*dt*tR[to+k]
 					}
 					// Robert-Asselin filter on the centre level.
-					filtered := c + RobertAlpha*(prev.At(j, i, k)-2*c+next)
-					prev.Set(j, i, k, filtered)
-					cur.Set(j, i, k, next)
+					filtered := c + RobertAlpha*(pR[co+k]-2*c+next)
+					pR[co+k] = filtered
+					cR[co+k] = next
 				}
 			}
 		}

@@ -1,0 +1,106 @@
+package fft
+
+import "sync"
+
+// Plans is a concurrency-safe registry of reusable transform plans keyed by
+// length.  A Plan is not safe for concurrent use, so the registry hands out
+// *exclusive ownership*: Get removes a plan from the pool (building one on a
+// miss) and only the caller may use it until it is returned with Put.  This
+// lets many simulated ranks — each its own goroutine — share one warm pool
+// without ever sharing a live plan, and makes repeated plan churn (e.g. the
+// sequential filter oracle planning per call) allocation-free at steady
+// state.
+type Plans struct {
+	mu   sync.Mutex
+	free map[int][]*Plan
+}
+
+// NewPlans creates an empty plan registry.
+func NewPlans() *Plans {
+	return &Plans{free: make(map[int][]*Plan)}
+}
+
+// Get returns a plan for length n, reusing a pooled one when available.
+// The caller owns the plan exclusively until Put.
+func (ps *Plans) Get(n int) *Plan {
+	ps.mu.Lock()
+	if free := ps.free[n]; len(free) > 0 {
+		p := free[len(free)-1]
+		free[len(free)-1] = nil
+		ps.free[n] = free[:len(free)-1]
+		ps.mu.Unlock()
+		return p
+	}
+	ps.mu.Unlock()
+	return NewPlan(n)
+}
+
+// Put returns a plan to the pool for reuse.  The caller must not use p
+// afterwards.  Put(nil) is a no-op.
+func (ps *Plans) Put(p *Plan) {
+	if p == nil {
+		return
+	}
+	ps.mu.Lock()
+	ps.free[p.n] = append(ps.free[p.n], p)
+	ps.mu.Unlock()
+}
+
+// RealPlans is the RealPlan counterpart of Plans: a concurrency-safe pool of
+// real-input plans keyed by length, with exclusive-ownership Get/Put.
+type RealPlans struct {
+	mu   sync.Mutex
+	free map[int][]*RealPlan
+}
+
+// NewRealPlans creates an empty real-plan registry.
+func NewRealPlans() *RealPlans {
+	return &RealPlans{free: make(map[int][]*RealPlan)}
+}
+
+// Get returns a real-input plan for even length n, reusing a pooled one when
+// available.  The caller owns the plan exclusively until Put.
+func (ps *RealPlans) Get(n int) *RealPlan {
+	ps.mu.Lock()
+	if free := ps.free[n]; len(free) > 0 {
+		p := free[len(free)-1]
+		free[len(free)-1] = nil
+		ps.free[n] = free[:len(free)-1]
+		ps.mu.Unlock()
+		return p
+	}
+	ps.mu.Unlock()
+	return NewRealPlan(n)
+}
+
+// Put returns a real-input plan to the pool.  The caller must not use p
+// afterwards.  Put(nil) is a no-op.
+func (ps *RealPlans) Put(p *RealPlan) {
+	if p == nil {
+		return
+	}
+	ps.mu.Lock()
+	ps.free[p.n] = append(ps.free[p.n], p)
+	ps.mu.Unlock()
+}
+
+// sharedPlans / sharedRealPlans back the package-level GetPlan/PutPlan
+// convenience API used by the filter package.
+var (
+	sharedPlans     = NewPlans()
+	sharedRealPlans = NewRealPlans()
+)
+
+// GetPlan fetches a plan for length n from the shared process-wide registry.
+func GetPlan(n int) *Plan { return sharedPlans.Get(n) }
+
+// PutPlan returns a plan obtained from GetPlan to the shared registry.
+func PutPlan(p *Plan) { sharedPlans.Put(p) }
+
+// GetRealPlan fetches a real-input plan for even length n from the shared
+// process-wide registry.
+func GetRealPlan(n int) *RealPlan { return sharedRealPlans.Get(n) }
+
+// PutRealPlan returns a real-input plan obtained from GetRealPlan to the
+// shared registry.
+func PutRealPlan(p *RealPlan) { sharedRealPlans.Put(p) }

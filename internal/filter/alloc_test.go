@@ -1,0 +1,23 @@
+package filter
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRowFilterAllocFree pins the FFT filter's per-row hot path — forward
+// real FFT, damping, inverse — at zero steady-state allocations.  The first
+// apply warms the plan registry and the rowFilter scratch.
+func TestRowFilterAllocFree(t *testing.T) {
+	const n = 64
+	rf := newRowFilter(n)
+	damp := DampingRow(n, 80*math.Pi/180, 45*math.Pi/180)
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = math.Sin(2 * math.Pi * float64(i) / n * 3)
+	}
+	rf.apply(damp, row)
+	if a := testing.AllocsPerRun(100, func() { rf.apply(damp, row) }); a != 0 {
+		t.Fatalf("rowFilter.apply allocated %.1f times per row; want 0", a)
+	}
+}

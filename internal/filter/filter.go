@@ -92,11 +92,17 @@ func Damping(nlon, s int, lat, critLat float64) float64 {
 // DampingRow returns the full per-wavenumber damping vector for one
 // latitude circle.
 func DampingRow(nlon int, lat, critLat float64) []float64 {
-	row := make([]float64, nlon)
-	for s := range row {
-		row[s] = Damping(nlon, s, lat, critLat)
+	return DampingRowInto(make([]float64, 0, nlon), nlon, lat, critLat)
+}
+
+// DampingRowInto fills the damping vector into dst (grown from dst[:0] as
+// needed) and returns it; with a persistent dst it allocates nothing.
+func DampingRowInto(dst []float64, nlon int, lat, critLat float64) []float64 {
+	dst = dst[:0]
+	for s := 0; s < nlon; s++ {
+		dst = append(dst, Damping(nlon, s, lat, critLat))
 	}
-	return row
+	return dst
 }
 
 // IsFiltered reports whether global latitude row j requires filtering of
@@ -125,7 +131,9 @@ func Coefficients(damp []float64) []float64 {
 	n := len(damp)
 	re := append([]float64(nil), damp...)
 	im := make([]float64, n)
-	fft.NewPlan(n).Inverse(re, im)
+	plan := fft.GetPlan(n)
+	plan.Inverse(re, im)
+	fft.PutPlan(plan)
 	return re
 }
 
@@ -133,11 +141,19 @@ func Coefficients(damp []float64) []float64 {
 // spectral route: forward FFT, damp, inverse FFT.  plan must have length
 // len(row) == len(damp).
 func ApplyRowFFT(plan *fft.Plan, damp, row []float64) {
+	applyRowFFTScratch(plan, damp, row, make([]float64, len(row)))
+}
+
+// applyRowFFTScratch is ApplyRowFFT with caller-owned imaginary scratch of
+// length len(row), zeroed on entry by the callee.
+func applyRowFFTScratch(plan *fft.Plan, damp, row, im []float64) {
 	n := len(row)
-	if plan.N() != n || len(damp) != n {
+	if plan.N() != n || len(damp) != n || len(im) != n {
 		panic("filter: ApplyRowFFT length mismatch")
 	}
-	im := make([]float64, n)
+	for s := range im {
+		im[s] = 0
+	}
 	plan.Forward(row, im)
 	for s := 0; s < n; s++ {
 		row[s] *= damp[s]
@@ -155,18 +171,30 @@ type rowFilter struct {
 	plan   *fft.RealPlan
 	re, im []float64
 	odd    *fft.Plan
+	oddIm  []float64 // imaginary scratch for the odd-length fallback
 }
 
+// newRowFilter builds the per-rank row-filtering state, drawing plans from
+// the shared fft registries so repeated construction (the sequential oracle
+// plans per call) reuses warm twiddle tables.
 func newRowFilter(n int) *rowFilter {
 	if n%2 != 0 {
-		return &rowFilter{n: n, odd: fft.NewPlan(n)}
+		return &rowFilter{n: n, odd: fft.GetPlan(n), oddIm: make([]float64, n)}
 	}
 	return &rowFilter{
 		n:    n,
-		plan: fft.NewRealPlan(n),
+		plan: fft.GetRealPlan(n),
 		re:   make([]float64, n/2+1),
 		im:   make([]float64, n/2+1),
 	}
+}
+
+// release returns the filter's plans to the shared registries.  The filter
+// must not be used afterwards.
+func (rf *rowFilter) release() {
+	fft.PutPlan(rf.odd)
+	fft.PutRealPlan(rf.plan)
+	rf.odd, rf.plan = nil, nil
 }
 
 // apply filters one real row in place; damp has length n and is symmetric,
@@ -176,7 +204,7 @@ func (rf *rowFilter) apply(damp, row []float64) {
 		panic("filter: rowFilter length mismatch")
 	}
 	if rf.odd != nil {
-		ApplyRowFFT(rf.odd, damp, row)
+		applyRowFFTScratch(rf.odd, damp, row, rf.oddIm)
 		return
 	}
 	rf.plan.Forward(row, rf.re, rf.im)
@@ -195,17 +223,109 @@ func ApplyRowConvolution(coeffs, row, dst []float64, i0 int) {
 	if len(coeffs) != n {
 		panic("filter: ApplyRowConvolution length mismatch")
 	}
-	for t := range dst {
-		i := i0 + t
-		var sum float64
-		for d := 0; d < n; d++ {
-			k := i - d
-			if k < 0 {
-				k += n
-			}
-			sum += coeffs[d] * row[k]
+	ext := make([]float64, n+convPad)
+	copy(ext, row)
+	for q := 0; q < convPad; q++ {
+		ext[n+q] = row[q%n]
+	}
+	convolveExt(coeffs, ext, dst, i0)
+}
+
+// convPad is the wraparound padding convolveExt needs beyond the circle:
+// the widest output group reads seven points past its base index.
+const convPad = 7
+
+// convolveExt is the convolution kernel on a padded circle: ext holds the
+// n = len(coeffs) row values followed by convPad wraparound copies of its
+// start, so no index ever needs a modulo.  Outputs are computed eight at a
+// time with independent accumulators to hide the add latency of the serial
+// sum; each accumulator still adds its terms in ascending-d order, so every
+// output is bit-identical to the textbook one-point-at-a-time loop.
+func convolveExt(coeffs, ext, dst []float64, i0 int) {
+	n := len(coeffs)
+	if len(ext) < n+convPad {
+		panic("filter: convolveExt needs a padded row")
+	}
+	m := len(dst)
+	t0 := 0
+	for ; t0+8 <= m; t0 += 8 {
+		i := i0 + t0
+		if i >= n {
+			i -= n
 		}
-		dst[t] = sum
+		var s0, s1, s2, s3, s4, s5, s6, s7 float64
+		// d ascends 0..n-1 as k = (i-d) mod n walks i..0 then n-1..i+1.
+		for k := i; k >= 0; k-- {
+			c := coeffs[i-k]
+			s0 += c * ext[k]
+			s1 += c * ext[k+1]
+			s2 += c * ext[k+2]
+			s3 += c * ext[k+3]
+			s4 += c * ext[k+4]
+			s5 += c * ext[k+5]
+			s6 += c * ext[k+6]
+			s7 += c * ext[k+7]
+		}
+		for k := n - 1; k > i; k-- {
+			c := coeffs[i-k+n]
+			s0 += c * ext[k]
+			s1 += c * ext[k+1]
+			s2 += c * ext[k+2]
+			s3 += c * ext[k+3]
+			s4 += c * ext[k+4]
+			s5 += c * ext[k+5]
+			s6 += c * ext[k+6]
+			s7 += c * ext[k+7]
+		}
+		dst[t0] = s0
+		dst[t0+1] = s1
+		dst[t0+2] = s2
+		dst[t0+3] = s3
+		dst[t0+4] = s4
+		dst[t0+5] = s5
+		dst[t0+6] = s6
+		dst[t0+7] = s7
+	}
+	// Narrow subdomains (wide meshes) rarely reach the 8-wide block, so
+	// the tail runs a 4-wide group before falling back to single outputs.
+	for ; t0+4 <= m; t0 += 4 {
+		i := i0 + t0
+		if i >= n {
+			i -= n
+		}
+		var s0, s1, s2, s3 float64
+		for k := i; k >= 0; k-- {
+			c := coeffs[i-k]
+			s0 += c * ext[k]
+			s1 += c * ext[k+1]
+			s2 += c * ext[k+2]
+			s3 += c * ext[k+3]
+		}
+		for k := n - 1; k > i; k-- {
+			c := coeffs[i-k+n]
+			s0 += c * ext[k]
+			s1 += c * ext[k+1]
+			s2 += c * ext[k+2]
+			s3 += c * ext[k+3]
+		}
+		dst[t0] = s0
+		dst[t0+1] = s1
+		dst[t0+2] = s2
+		dst[t0+3] = s3
+	}
+	for ; t0 < m; t0++ {
+		i := i0 + t0
+		if i >= n {
+			i -= n
+		}
+		var s float64
+		for k := i; k >= 0; k-- {
+			s += coeffs[i-k] * ext[k]
+		}
+		for k := n - 1; k > i; k-- {
+			s += coeffs[i-k+n] * ext[k]
+		}
+		dst[t0] = s
 	}
 }
 
@@ -223,14 +343,16 @@ type Variable struct {
 // parallel variants.
 func Sequential(spec grid.Spec, vars []Variable) {
 	rf := newRowFilter(spec.Nlon)
+	defer rf.release()
 	row := make([]float64, spec.Nlon)
+	damp := make([]float64, 0, spec.Nlon)
 	for _, v := range vars {
 		l := v.Field.Local()
 		if l.Nlat() != spec.Nlat || l.Nlon() != spec.Nlon {
 			panic("filter: Sequential requires an undecomposed field")
 		}
 		for _, j := range Rows(spec, v.Kind) {
-			damp := DampingRow(spec.Nlon, spec.LatCenter(j), v.Kind.CritLat())
+			damp = DampingRowInto(damp, spec.Nlon, spec.LatCenter(j), v.Kind.CritLat())
 			for k := 0; k < spec.Nlayers; k++ {
 				v.Field.RowSlice(j, k, row)
 				rf.apply(damp, row)

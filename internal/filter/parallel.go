@@ -6,8 +6,35 @@ import (
 	"agcm/internal/comm"
 	"agcm/internal/fft"
 	"agcm/internal/grid"
-	"agcm/internal/loadbalance"
 )
+
+// growf returns buf resized to n float64s, reallocating only when capacity
+// is insufficient.  Contents are unspecified.
+func growf(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+// growi is growf for int slices.
+func growi(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growSlices resizes a slice-of-slices to n entries, preserving existing
+// entries (and their backing arrays, so per-entry reuse keeps paying off).
+func growSlices(buf [][]float64, n int) [][]float64 {
+	if cap(buf) < n {
+		out := make([][]float64, n)
+		copy(out, buf)
+		return out
+	}
+	return buf[:n]
+}
 
 // Tags for the filter's column-direction traffic (user tag range).
 const (
@@ -58,32 +85,54 @@ type Convolution struct {
 	local grid.Local
 	topo  Topology
 
-	coeffCache map[coeffKey][]float64
-}
+	// coeffCache holds the convolution kernels indexed [kind][global j] —
+	// a flat table rather than a map because the slab loop consults it
+	// once per line.
+	coeffCache [2][][]float64
 
-type coeffKey struct {
-	kind Kind
-	j    int
+	// Persistent per-step scratch: the slab loop reuses these across calls
+	// so a steady-state Apply allocates nothing on the ring topology.
+	full, dst, buf []float64
+	row            []float64
+	lines          [][2]int
+	widths, offs   []int
+	gather         [][]float64 // AllgathervInto receive buffers, one per column
 }
 
 // NewConvolution builds the original filter for this rank's subdomain.
 func NewConvolution(cart *comm.Cart2D, spec grid.Spec, local grid.Local, topo Topology) *Convolution {
-	return &Convolution{
-		cart: cart, spec: spec, local: local, topo: topo,
-		coeffCache: make(map[coeffKey][]float64),
+	c := &Convolution{cart: cart, spec: spec, local: local, topo: topo}
+	for k := range c.coeffCache {
+		c.coeffCache[k] = make([][]float64, spec.Nlat)
 	}
+	// The mesh-row geometry is fixed for the lifetime of the filter.
+	c.widths = make([]int, cart.Px)
+	c.offs = make([]int, cart.Px)
+	pos := 0
+	for col := 0; col < cart.Px; col++ {
+		a, b := local.Decomp.LonRange(col)
+		c.widths[col] = b - a
+		c.offs[col] = pos
+		pos += b - a
+	}
+	// full carries convPad wraparound values past the circle so the
+	// convolution kernel runs without modulo indexing.
+	c.full = make([]float64, spec.Nlon+convPad)
+	c.dst = make([]float64, local.Nlon())
+	c.row = make([]float64, local.Nlon())
+	c.gather = make([][]float64, cart.Px)
+	return c
 }
 
 // Name implements Parallel.
 func (c *Convolution) Name() string { return "convolution-" + c.topo.String() }
 
 func (c *Convolution) coefficients(k Kind, j int) []float64 {
-	key := coeffKey{k, j}
-	if co, ok := c.coeffCache[key]; ok {
+	if co := c.coeffCache[k][j]; co != nil {
 		return co
 	}
 	co := Coefficients(DampingRow(c.spec.Nlon, c.spec.LatCenter(j), k.CritLat()))
-	c.coeffCache[key] = co
+	c.coeffCache[k][j] = co
 	return co
 }
 
@@ -101,55 +150,52 @@ func (c *Convolution) Apply(vars []Variable) {
 	}
 }
 
-// applySlab filters one variable's layer-k slab.
+// applySlab filters one variable's layer-k slab.  All staging lives in the
+// filter's persistent scratch; on the ring topology the steady state
+// allocates nothing.
 func (c *Convolution) applySlab(v Variable, k int) {
 	n := c.spec.Nlon
 	w := c.local.Nlon()
-	full := make([]float64, n)
-	dst := make([]float64, w)
 	lo, _ := c.local.Decomp.LonRange(c.cart.MyCol)
 
 	// The filtered (localJ, k) lines; identical across the mesh row, so
 	// the collective participation is consistent.
-	var lines [][2]int
+	c.lines = c.lines[:0]
 	for localJ := 0; localJ < c.local.Nlat(); localJ++ {
 		if IsFiltered(c.spec, v.Kind, c.local.GlobalLat(localJ)) {
-			lines = append(lines, [2]int{localJ, k})
+			c.lines = append(c.lines, [2]int{localJ, k})
 		}
 	}
-	if len(lines) == 0 {
+	if len(c.lines) == 0 {
 		return // equatorial mesh rows idle: the load imbalance
 	}
 	// Pack this slab's segments into one buffer per rank.
-	buf := make([]float64, 0, len(lines)*w)
-	for _, ln := range lines {
-		buf = append(buf, v.Field.RowSlice(ln[0], ln[1], nil)...)
+	c.buf = c.buf[:0]
+	for _, ln := range c.lines {
+		c.row = v.Field.RowSlice(ln[0], ln[1], c.row)
+		c.buf = append(c.buf, c.row...)
 	}
 	var parts [][]float64
 	if c.topo == Ring {
-		parts = c.cart.Row.Allgatherv(buf)
+		parts = c.cart.Row.AllgathervInto(c.buf, c.gather)
 	} else {
-		parts = c.cart.Row.AllgathervTree(buf)
+		// The tree gather hands buffers over zero-copy, so it must not
+		// alias the reusable scratch; it keeps the per-call allocation.
+		parts = c.cart.Row.AllgathervTree(append([]float64(nil), c.buf...))
 	}
-	widths := make([]int, c.cart.Px)
-	offs := make([]int, c.cart.Px)
-	pos := 0
-	for col := 0; col < c.cart.Px; col++ {
-		a, b := c.local.Decomp.LonRange(col)
-		widths[col] = b - a
-		offs[col] = pos
-		pos += b - a
-	}
-	for li, ln := range lines {
+	for li, ln := range c.lines {
 		for col := 0; col < c.cart.Px; col++ {
-			copy(full[offs[col]:offs[col]+widths[col]],
-				parts[col][li*widths[col]:(li+1)*widths[col]])
+			copy(c.full[c.offs[col]:c.offs[col]+c.widths[col]],
+				parts[col][li*c.widths[col]:(li+1)*c.widths[col]])
+		}
+		for q := 0; q < convPad; q++ {
+			c.full[n+q] = c.full[q%n]
 		}
 		coeffs := c.coefficients(v.Kind, c.local.GlobalLat(ln[0]))
-		ApplyRowConvolution(coeffs, full, dst, lo)
+		convolveExt(coeffs, c.full, c.dst, lo)
 		// The physical-space sum costs 2*N flops per point.
 		c.cart.World.Proc().Compute(float64(2 * n * w))
-		v.Field.SetRowSlice(ln[0], ln[1], dst)
+		v.Field.SetRowSlice(ln[0], ln[1], c.dst)
 	}
 }
 
@@ -168,7 +214,34 @@ type FFTFilter struct {
 	balanced bool
 	rf       *rowFilter
 
-	dampCache map[coeffKey][]float64
+	// dampCache holds the damping profiles indexed [kind][global j].
+	dampCache [2][][]float64
+
+	// Static mesh-row geometry, computed once.
+	widths, lonOff []int
+
+	// Persistent per-step scratch for Apply's seven phases.  Every send
+	// from these buffers goes through the pooled-copy comm paths and every
+	// receive lands back here via *Into, so the steady state allocates
+	// nothing.
+	initOwner, finalOwner []int
+	segs                  [][]float64
+	segArena              []float64
+	myWork, sub, myBlock  []int
+	parts                 [][]float64 // transpose send staging, per column
+	tOut                  [][]float64 // transpose receive buffers
+	full                  [][]float64 // complete latitude circles
+	back                  [][]float64 // reverse-transpose send staging
+	gotOut                [][]float64 // reverse-transpose receive buffers
+	colOffs               []int
+
+	// redistribute staging (two calls per Apply when balanced).
+	rSend, rRecv  [][]float64
+	rCount, rOffs []int
+
+	// Cached line enumeration (the filtered-row sets are fixed per Kind).
+	lineBuf   []line
+	rowsCache map[Kind][]int
 }
 
 // NewFFT builds the transpose-based FFT filter.  With balanced=true the
@@ -176,11 +249,52 @@ type FFTFilter struct {
 // mesh first; with balanced=false the polar processors keep all the work
 // (the middle column of the paper's Tables 8-11).
 func NewFFT(cart *comm.Cart2D, spec grid.Spec, local grid.Local, balanced bool) *FFTFilter {
-	return &FFTFilter{
+	f := &FFTFilter{
 		cart: cart, spec: spec, local: local, balanced: balanced,
-		rf:        newRowFilter(spec.Nlon),
-		dampCache: make(map[coeffKey][]float64),
+		rf: newRowFilter(spec.Nlon),
 	}
+	for k := range f.dampCache {
+		f.dampCache[k] = make([][]float64, spec.Nlat)
+	}
+	px, py := cart.Px, cart.Py
+	f.widths = make([]int, px)
+	f.lonOff = make([]int, px)
+	for c := 0; c < px; c++ {
+		lo, hi := local.Decomp.LonRange(c)
+		f.widths[c], f.lonOff[c] = hi-lo, lo
+	}
+	f.parts = make([][]float64, px)
+	f.tOut = make([][]float64, px)
+	f.back = make([][]float64, px)
+	f.gotOut = make([][]float64, px)
+	f.colOffs = make([]int, px)
+	f.rSend = make([][]float64, py)
+	f.rRecv = make([][]float64, py)
+	f.rCount = make([]int, py)
+	f.rOffs = make([]int, py)
+	f.rowsCache = make(map[Kind][]int)
+	return f
+}
+
+// buildLines enumerates the lines to filter in the same canonical
+// (variable, row, layer) order as the package-level buildLines, reusing the
+// cached per-Kind row sets and the line buffer so steady-state calls
+// allocate nothing.
+func (f *FFTFilter) buildLines(vars []Variable) []line {
+	f.lineBuf = f.lineBuf[:0]
+	for vi, v := range vars {
+		rows, ok := f.rowsCache[v.Kind]
+		if !ok {
+			rows = Rows(f.spec, v.Kind)
+			f.rowsCache[v.Kind] = rows
+		}
+		for _, j := range rows {
+			for k := 0; k < f.spec.Nlayers; k++ {
+				f.lineBuf = append(f.lineBuf, line{v: vi, j: j, k: k})
+			}
+		}
+	}
+	return f.lineBuf
 }
 
 // Name implements Parallel.
@@ -192,33 +306,42 @@ func (f *FFTFilter) Name() string {
 }
 
 func (f *FFTFilter) damping(k Kind, j int) []float64 {
-	key := coeffKey{k, j}
-	if d, ok := f.dampCache[key]; ok {
+	if d := f.dampCache[k][j]; d != nil {
 		return d
 	}
 	d := DampingRow(f.spec.Nlon, f.spec.LatCenter(j), k.CritLat())
-	f.dampCache[key] = d
+	f.dampCache[k][j] = d
 	return d
 }
 
 // blockOwners assigns n items to p owners in contiguous blocks sized by the
 // Eq. (3) targets, returning the owner of each item.
 func blockOwners(n, p int) []int {
-	targets := loadbalance.Targets(n, p)
-	owners := make([]int, n)
-	idx := 0
-	for owner, t := range targets {
-		for c := 0; c < t; c++ {
-			owners[idx] = owner
-			idx++
-		}
-	}
-	return owners
+	return blockOwnersInto(make([]int, 0, n), n, p)
 }
 
-// Apply implements Parallel.
+// blockOwnersInto is blockOwners into a caller-owned buffer (grown from
+// dst[:0] as needed).  The block sizes are the loadbalance.Targets formula:
+// floor(n/p) per owner, the first n%p owners taking one extra.
+func blockOwnersInto(dst []int, n, p int) []int {
+	dst = dst[:0]
+	base, rem := n/p, n%p
+	for owner := 0; owner < p; owner++ {
+		t := base
+		if owner < rem {
+			t++
+		}
+		for c := 0; c < t; c++ {
+			dst = append(dst, owner)
+		}
+	}
+	return dst
+}
+
+// Apply implements Parallel.  All seven phases stage through the filter's
+// persistent scratch buffers, so a steady-state call allocates nothing.
 func (f *FFTFilter) Apply(vars []Variable) {
-	lines := buildLines(f.spec, vars)
+	lines := f.buildLines(vars)
 	if len(lines) == 0 {
 		return
 	}
@@ -229,22 +352,37 @@ func (f *FFTFilter) Apply(vars []Variable) {
 
 	// Ownership before and after the balancing redistribution.  Both are
 	// derived locally and identically on every rank.
-	initOwner := make([]int, len(lines))
+	f.initOwner = growi(f.initOwner, len(lines))
+	initOwner := f.initOwner
 	for l, ln := range lines {
 		initOwner[l] = d.RowOfLat(ln.j)
 	}
 	finalOwner := initOwner
 	if f.balanced {
-		finalOwner = blockOwners(len(lines), py)
+		f.finalOwner = blockOwnersInto(f.finalOwner, len(lines), py)
+		finalOwner = f.finalOwner
 	}
 
-	// Phase 1: extract the local longitude segments of my lines.
-	segs := make([][]float64, len(lines))
+	// Phase 1: extract the local longitude segments of my lines into the
+	// segment arena.
+	f.segs = growSlices(f.segs, len(lines))
+	segs := f.segs
+	mine := 0
+	for l := range lines {
+		segs[l] = nil
+		if initOwner[l] == me {
+			mine++
+		}
+	}
+	f.segArena = growf(f.segArena, mine*w)
+	pos := 0
 	for l, ln := range lines {
 		if initOwner[l] != me {
 			continue
 		}
-		segs[l] = vars[ln.v].Field.RowSlice(ln.j-f.local.Lat0, ln.k, nil)
+		seg := f.segArena[pos : pos+w]
+		pos += w
+		segs[l] = vars[ln.v].Field.RowSlice(ln.j-f.local.Lat0, ln.k, seg)
 	}
 
 	// Phase 2: redistribute segments along the mesh column so each
@@ -254,46 +392,46 @@ func (f *FFTFilter) Apply(vars []Variable) {
 	}
 
 	// myWork: the lines this processor row filters, in canonical order.
-	var myWork []int
+	f.myWork = f.myWork[:0]
 	for l := range lines {
 		if finalOwner[l] == me {
-			myWork = append(myWork, l)
+			f.myWork = append(f.myWork, l)
 		}
 	}
+	myWork := f.myWork
 
 	// Phase 3: transpose within the mesh row (Figure 3): sub-block c of
 	// myWork becomes complete latitude circles on mesh column c.
-	sub := blockOwners(len(myWork), px)
-	parts := make([][]float64, px)
-	for t, l := range myWork {
-		parts[sub[t]] = append(parts[sub[t]], segs[l]...)
+	f.sub = blockOwnersInto(f.sub, len(myWork), px)
+	sub := f.sub
+	for c := range f.parts {
+		f.parts[c] = f.parts[c][:0]
 	}
-	recv := f.cart.Row.Alltoallv(parts)
+	for t, l := range myWork {
+		f.parts[sub[t]] = append(f.parts[sub[t]], segs[l]...)
+	}
+	recv := f.cart.Row.AlltoallvInto(f.parts, f.tOut)
 
-	var myBlock []int // indices t into myWork owned by my column
+	f.myBlock = f.myBlock[:0]
 	for t := range myWork {
 		if sub[t] == f.cart.MyCol {
-			myBlock = append(myBlock, t)
+			f.myBlock = append(f.myBlock, t)
 		}
 	}
-	widths := make([]int, px)
-	lonOff := make([]int, px)
-	for c := 0; c < px; c++ {
-		lo, hi := d.LonRange(c)
-		widths[c], lonOff[c] = hi-lo, lo
-	}
-	full := make([][]float64, len(myBlock))
+	myBlock := f.myBlock
+	f.full = growSlices(f.full, len(myBlock))
+	full := f.full
 	for bi := range full {
-		full[bi] = make([]float64, f.spec.Nlon)
+		full[bi] = growf(full[bi], f.spec.Nlon)
 	}
 	for c := 0; c < px; c++ {
 		buf := recv[c]
-		if len(buf) != len(myBlock)*widths[c] {
+		if len(buf) != len(myBlock)*f.widths[c] {
 			panic(fmt.Sprintf("filter: transpose recv from col %d has %d values, want %d",
-				c, len(buf), len(myBlock)*widths[c]))
+				c, len(buf), len(myBlock)*f.widths[c]))
 		}
 		for bi := range myBlock {
-			copy(full[bi][lonOff[c]:lonOff[c]+widths[c]], buf[bi*widths[c]:(bi+1)*widths[c]])
+			copy(full[bi][f.lonOff[c]:f.lonOff[c]+f.widths[c]], buf[bi*f.widths[c]:(bi+1)*f.widths[c]])
 		}
 	}
 
@@ -306,20 +444,21 @@ func (f *FFTFilter) Apply(vars []Variable) {
 	}
 
 	// Phase 5: reverse transpose.
-	back := make([][]float64, px)
 	for c := 0; c < px; c++ {
-		buf := make([]float64, 0, len(myBlock)*widths[c])
+		buf := f.back[c][:0]
 		for bi := range myBlock {
-			buf = append(buf, full[bi][lonOff[c]:lonOff[c]+widths[c]]...)
+			buf = append(buf, full[bi][f.lonOff[c]:f.lonOff[c]+f.widths[c]]...)
 		}
-		back[c] = buf
+		f.back[c] = buf
 	}
-	got := f.cart.Row.Alltoallv(back)
-	offs := make([]int, px)
+	got := f.cart.Row.AlltoallvInto(f.back, f.gotOut)
+	for c := range f.colOffs {
+		f.colOffs[c] = 0
+	}
 	for t, l := range myWork {
 		c := sub[t]
-		segs[l] = got[c][offs[c] : offs[c]+w]
-		offs[c] += w
+		segs[l] = got[c][f.colOffs[c] : f.colOffs[c]+w]
+		f.colOffs[c] += w
 	}
 
 	// Phase 6: reverse redistribution back to the home processor rows.
@@ -338,42 +477,50 @@ func (f *FFTFilter) Apply(vars []Variable) {
 
 // redistribute moves each line's segment from its `from` owner to its `to`
 // owner along the mesh column, one message per (src, dst) pair, preserving
-// the canonical line order inside every message.
+// the canonical line order inside every message.  Sends are pooled copies
+// and receives land in the filter's persistent staging, whose contents stay
+// valid (referenced through segs) until the next redistribute call — by
+// which time Apply has rebound every live segment elsewhere.
 func (f *FFTFilter) redistribute(lines []line, segs [][]float64, from, to []int, tag int) {
 	me := f.cart.MyRow
 	py := f.cart.Py
 	w := f.local.Nlon()
 
-	sendBuf := make([][]float64, py)
+	for dst := range f.rSend {
+		f.rSend[dst] = f.rSend[dst][:0]
+	}
 	for l := range lines {
 		if from[l] == me && to[l] != me {
-			sendBuf[to[l]] = append(sendBuf[to[l]], segs[l]...)
+			f.rSend[to[l]] = append(f.rSend[to[l]], segs[l]...)
 			segs[l] = nil
 		}
 	}
 	for dst := 0; dst < py; dst++ {
-		if dst != me && sendBuf[dst] != nil {
-			f.cart.Col.Send(dst, tag, sendBuf[dst])
+		if dst != me && len(f.rSend[dst]) > 0 {
+			f.cart.Col.SendCopy(dst, tag, f.rSend[dst])
 		}
 	}
-	recvCount := make([]int, py)
+	for src := range f.rCount {
+		f.rCount[src] = 0
+	}
 	for l := range lines {
 		if to[l] == me && from[l] != me {
-			recvCount[from[l]]++
+			f.rCount[from[l]]++
 		}
 	}
-	recvBuf := make([][]float64, py)
 	for src := 0; src < py; src++ {
-		if recvCount[src] > 0 {
-			recvBuf[src] = f.cart.Col.Recv(src, tag)
+		if f.rCount[src] > 0 {
+			f.rRecv[src] = f.cart.Col.RecvInto(src, tag, f.rRecv[src])
 		}
 	}
-	offs := make([]int, py)
+	for src := range f.rOffs {
+		f.rOffs[src] = 0
+	}
 	for l := range lines {
 		if to[l] == me && from[l] != me {
 			src := from[l]
-			segs[l] = recvBuf[src][offs[src] : offs[src]+w]
-			offs[src] += w
+			segs[l] = f.rRecv[src][f.rOffs[src] : f.rOffs[src]+w]
+			f.rOffs[src] += w
 		}
 	}
 }

@@ -22,28 +22,31 @@ type RowwiseFFT struct {
 	local grid.Local
 	rf    *rowFilter
 
-	dampCache map[coeffKey][]float64
+	// dampCache holds the damping profiles indexed [kind][global j].
+	dampCache [2][][]float64
 }
 
 // NewRowwiseFFT builds the rejected-alternative filter for this rank.
 func NewRowwiseFFT(cart *comm.Cart2D, spec grid.Spec, local grid.Local) *RowwiseFFT {
-	return &RowwiseFFT{
+	f := &RowwiseFFT{
 		cart: cart, spec: spec, local: local,
-		rf:        newRowFilter(spec.Nlon),
-		dampCache: make(map[coeffKey][]float64),
+		rf: newRowFilter(spec.Nlon),
 	}
+	for k := range f.dampCache {
+		f.dampCache[k] = make([][]float64, spec.Nlat)
+	}
+	return f
 }
 
 // Name implements Parallel.
 func (f *RowwiseFFT) Name() string { return "fft-rowwise" }
 
 func (f *RowwiseFFT) damping(k Kind, j int) []float64 {
-	key := coeffKey{k, j}
-	if d, ok := f.dampCache[key]; ok {
+	if d := f.dampCache[k][j]; d != nil {
 		return d
 	}
 	d := DampingRow(f.spec.Nlon, f.spec.LatCenter(j), k.CritLat())
-	f.dampCache[key] = d
+	f.dampCache[k][j] = d
 	return d
 }
 

@@ -1,0 +1,49 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+
+	"agcm/internal/comm"
+)
+
+// TestExchangerAllocFree pins the steady-state allocation count of the ghost
+// exchange at zero.  testing.AllocsPerRun counts mallocs process-wide, so
+// every rank of the 2x2 mesh must run its rounds allocation-free; the warmup
+// rounds grow the Exchanger staging and the transport pools to the working-
+// set size first.  AllocsPerRun invokes the measured function runs+1 times,
+// so the partner ranks loop exactly runs+1 exchanges to stay matched.
+func TestExchangerAllocFree(t *testing.T) {
+	spec := Spec{Nlon: 16, Nlat: 12, Nlayers: 3}
+	const warm, runs = 5, 30
+	runMesh(t, 2, 2, spec, func(world *comm.Comm, cart *comm.Cart2D, l Local) error {
+		f := NewField(l, 1)
+		g := NewField(l, 1)
+		for j := 0; j < l.Nlat(); j++ {
+			for i := 0; i < l.Nlon(); i++ {
+				for k := 0; k < l.Nlayers(); k++ {
+					f.Set(j, i, k, globalValue(l.GlobalLat(j), l.GlobalLon(i), k))
+					g.Set(j, i, k, -globalValue(l.GlobalLat(j), l.GlobalLon(i), k))
+				}
+			}
+		}
+		ex := NewExchanger(cart)
+		fields := []*Field{f, g}
+		round := func() {
+			ex.Exchange(fields...)
+		}
+		for i := 0; i < warm; i++ {
+			round()
+		}
+		if world.Rank() == 0 {
+			if n := testing.AllocsPerRun(runs, round); n != 0 {
+				return fmt.Errorf("Exchange allocated %.1f times per round; want 0", n)
+			}
+			return nil
+		}
+		for i := 0; i < runs+1; i++ {
+			round()
+		}
+		return nil
+	})
+}

@@ -60,6 +60,15 @@ func (f *Field) Column(j, i int) []float64 {
 	return f.data[base : base+f.nl]
 }
 
+// RowData returns the padded storage of latitude row j (halo columns
+// included) as one contiguous mutable slice: element (i, k) of the row lives
+// at offset (i+Halo())*Nlayers + k.  Stencil loops use it to index rows
+// directly instead of paying At's offset arithmetic per point.
+func (f *Field) RowData(j int) []float64 {
+	base := (j + f.halo) * f.nlonP * f.nl
+	return f.data[base : base+f.nlonP*f.nl]
+}
+
 // Fill sets every interior and halo cell to v.
 func (f *Field) Fill(v float64) {
 	for idx := range f.data {

@@ -64,6 +64,19 @@ type Runner struct {
 
 	myPrevFlops  float64
 	haveEstimate bool
+
+	// Persistent column storage: the column list, the structs and their
+	// T/Q profiles all live in arenas refreshed in place each step, so the
+	// unbalanced path allocates nothing at steady state.
+	cols     []*Column
+	colArena []Column
+	tqArena  []float64
+	held     []*Column
+
+	// Load-estimate exchange staging.
+	loadBuf []float64
+	loads   []float64
+	gOut    [][]float64
 }
 
 // NewRunner builds a physics runner.  rounds is the number of balancing
@@ -124,18 +137,22 @@ func (r *Runner) Step(T, Q *grid.Field, step int) {
 	}
 
 	// --- 1. Share the previous-pass load estimates. ---
-	parts := r.world.Allgatherv([]float64{r.PrevLoadSeconds()})
-	loads := make([]float64, len(parts))
+	if r.gOut == nil {
+		r.gOut = make([][]float64, r.world.Size())
+		r.loads = make([]float64, r.world.Size())
+		r.loadBuf = make([]float64, 1)
+	}
+	r.loadBuf[0] = r.PrevLoadSeconds()
+	parts := r.world.AllgathervInto(r.loadBuf, r.gOut)
 	for i, q := range parts {
-		loads[i] = q[0]
+		r.loads[i] = q[0]
 	}
 
 	// --- 2. Plan transfers; identical on every rank. ---
-	transfers, holdings := r.plan(loads)
+	transfers, holdings := r.plan(r.loads)
 
 	// --- 3. Execute the column movements round by round. ---
-	held := make([]*Column, len(cols))
-	copy(held, cols)
+	held := append(r.held[:0], cols...)
 	for _, t := range transfers {
 		tag := tagColumns + t.round
 		switch r.world.Rank() {
@@ -151,6 +168,7 @@ func (r *Runner) Step(T, Q *grid.Field, step int) {
 			p.Compute(packBookkeepingFlops * float64(len(in)))
 		}
 	}
+	r.held = held // retain the grown backing array for the next step
 
 	// --- 4. Compute every held column where it landed. ---
 	me := r.world.Rank()
@@ -307,27 +325,37 @@ func popTail(segs *[]segment, n int) []segment {
 }
 
 // extractColumns builds the local column list in the canonical (j, i)
-// order.  Column structs reference freshly copied profile slices.
+// order.  The structs and their profile slices live in per-Runner arenas
+// refreshed in place, so steady-state extraction allocates nothing; the
+// pointer table is re-seeded each step because balancing may have swapped
+// foreign column structs into it.
 func (r *Runner) extractColumns(T, Q *grid.Field) []*Column {
 	nlat, nlon, nl := r.local.Nlat(), r.local.Nlon(), r.local.Nlayers()
-	cols := make([]*Column, 0, nlat*nlon)
+	ncols := nlat * nlon
+	if r.cols == nil {
+		r.cols = make([]*Column, ncols)
+		r.colArena = make([]Column, ncols)
+		r.tqArena = make([]float64, 2*ncols*nl)
+		for idx := range r.colArena {
+			r.colArena[idx].T = r.tqArena[2*idx*nl : (2*idx+1)*nl]
+			r.colArena[idx].Q = r.tqArena[(2*idx+1)*nl : (2*idx+2)*nl]
+		}
+	}
 	me := r.world.Rank()
 	for j := 0; j < nlat; j++ {
 		for i := 0; i < nlon; i++ {
-			c := &Column{
-				Origin: me,
-				Index:  j*nlon + i,
-				J:      r.local.GlobalLat(j),
-				I:      r.local.GlobalLon(i),
-				T:      make([]float64, nl),
-				Q:      make([]float64, nl),
-			}
+			idx := j*nlon + i
+			c := &r.colArena[idx]
+			c.Origin = me
+			c.Index = idx
+			c.J = r.local.GlobalLat(j)
+			c.I = r.local.GlobalLon(i)
 			copy(c.T, T.Column(j, i))
 			copy(c.Q, Q.Column(j, i))
-			cols = append(cols, c)
+			r.cols[idx] = c
 		}
 	}
-	return cols
+	return r.cols
 }
 
 // writeBack stores the (possibly remotely computed) column profiles into

@@ -49,13 +49,20 @@ type Column struct {
 	T, Q []float64
 }
 
-// Model evaluates column physics.  It is stateless and deterministic: the
-// same column at the same step produces the same result and the same cost
-// on any processor — which is what makes load balancing by data movement
-// transparent to the simulation's answer.
+// Model evaluates column physics.  It is deterministic: the same column at
+// the same step produces the same result and the same cost on any
+// processor — which is what makes load balancing by data movement
+// transparent to the simulation's answer.  The scratch fields only cache
+// values the computation would otherwise rebuild, so they never change an
+// answer; a Model belongs to one rank and Compute is not reentrant.
 type Model struct {
 	Spec        grid.Spec
 	StepsPerDay int
+
+	// Longwave-exchange scratch: t4 holds each layer's (T/300)^4 built
+	// with the same multiplication chain as the direct loop; winv holds
+	// the 1/(1+distance) pair weights, divided out once.
+	t4, winv []float64
 }
 
 // NewModel builds a physics model for the given grid.
@@ -116,18 +123,34 @@ func (m *Model) Compute(c *Column, step int) float64 {
 	// --- Longwave radiation: every layer pair exchanges. ---
 	// Scaled Stefan-Boltzmann exchange, cooling upper layers that are
 	// warmer than their neighbours would be in radiative equilibrium.
+	// The fourth powers and pair weights are cached — refreshed as each
+	// layer updates — with the identical multiplication chain and
+	// division, so every term matches the direct nested loop bit for bit.
+	if cap(m.t4) < k {
+		m.t4 = make([]float64, k)
+		m.winv = make([]float64, k)
+		for d := 0; d < k; d++ {
+			m.winv[d] = 1.0 / float64(1+d)
+		}
+	}
+	t4 := m.t4[:k]
+	winv := m.winv[:k]
+	for kk := 0; kk < k; kk++ {
+		t := c.T[kk] / 300
+		t4[kk] = t * t * t * t
+	}
 	for k1 := 0; k1 < k; k1++ {
 		var heat float64
-		t1 := c.T[k1] / 300
-		for k2 := 0; k2 < k; k2++ {
-			if k2 == k1 {
-				continue
-			}
-			t2 := c.T[k2] / 300
-			w := 1.0 / float64(1+abs(k1-k2))
-			heat += w * (t2*t2*t2*t2 - t1*t1*t1*t1)
+		p1 := t4[k1]
+		for k2 := 0; k2 < k1; k2++ {
+			heat += winv[k1-k2] * (t4[k2] - p1)
+		}
+		for k2 := k1 + 1; k2 < k; k2++ {
+			heat += winv[k2-k1] * (t4[k2] - p1)
 		}
 		c.T[k1] += 0.02 * heat
+		t := c.T[k1] / 300
+		t4[k1] = t * t * t * t
 	}
 	flops += float64(k*(k+1)/2) * lwPairFlops
 
@@ -205,13 +228,6 @@ func (m *Model) EstimateFlops(c *Column, step int) float64 {
 	cp := &Column{Origin: c.Origin, Index: c.Index, J: c.J, I: c.I,
 		T: append([]float64(nil), c.T...), Q: append([]float64(nil), c.Q...)}
 	return m.Compute(cp, step)
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 func min(a, b int) int {

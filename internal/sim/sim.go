@@ -62,12 +62,17 @@ type FaultHook interface {
 	CrashTime(rank int) float64
 }
 
-// message is an in-flight point-to-point message.
+// message is an in-flight point-to-point message.  Float payloads travel in
+// the typed floats field so the hot comm paths never box a slice into the
+// payload interface (each such boxing is a heap allocation).
 type message struct {
-	source  int
-	tag     int
-	payload any
-	bytes   int
+	source   int
+	tag      int
+	payload  any       // non-float payloads (ints, nil barrier tokens, ...)
+	floats   []float64 // typed float payload, valid when isFloats is set
+	isFloats bool      // payload travels in floats (which may be a nil slice)
+	pooled   bool      // floats was drawn from the receiver's payload pool
+	bytes    int
 	arrive  float64 // virtual arrival time at the receiver
 	seq     int64   // per-sender sequence number, for event logging
 }
@@ -78,52 +83,213 @@ type key struct {
 	tag    int
 }
 
+// qkey packs a (source, tag) pair into one word so the queue map takes the
+// runtime's fast integer-key path instead of hashing a struct.  Ranks fit in
+// 32 bits and tags are small ints, so the packing is injective.
+func qkey(source, tag int) uint64 {
+	return uint64(uint32(source))<<32 | uint64(uint32(tag))
+}
+
+// bufStack is one length class of the payload pool.  Pools are reached
+// through a pointer so push/pop mutate in place without re-writing the map
+// entry.
+type bufStack struct {
+	s [][]float64
+}
+
+// msgQueue is one FIFO of in-flight messages for a (source, tag) key.  It is
+// drained with a head index and reset in place rather than deleted from the
+// queues map, so a steady-state communication pattern re-uses both the map
+// entries and the backing slices without allocating.
+type msgQueue struct {
+	msgs []*message
+	head int
+}
+
 // mailbox is the receive side of one rank.  All ranks may post into it
-// concurrently, so it is guarded by a mutex + cond.
+// concurrently, so it is guarded by a mutex + cond.  The free list recycles
+// message structs and the payload pool recycles copy-on-send buffers (keyed
+// by exact length), making the steady-state transport allocation-free.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	queues map[key][]*message
+	queues map[uint64]*msgQueue
+	free   []*message            // recycled message structs
+	bufs   map[int]*bufStack     // recycled pooled payload buffers, by length
 	closed bool
 	rank   int
 	wd     *watchdog
+
+	// Single-entry lookup caches (guarded by mu).  Steady-state traffic
+	// revisits the same queue and the same payload length run after run, so
+	// most posts, takes and pool operations skip the map entirely.
+	lastPostKey, lastTakeKey uint64
+	lastPostQ, lastTakeQ     *msgQueue
+	lastLen                  int
+	lastBufs                 *bufStack
 }
 
 func newMailbox(rank int, wd *watchdog) *mailbox {
-	mb := &mailbox{queues: make(map[key][]*message), rank: rank, wd: wd}
+	mb := &mailbox{
+		queues: make(map[uint64]*msgQueue),
+		bufs:   make(map[int]*bufStack),
+		rank:   rank,
+		wd:     wd,
+	}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
 
-func (mb *mailbox) post(m *message) {
+// pool returns the length class for n-float payloads, creating it on first
+// use.  Callers must hold mu.
+func (mb *mailbox) pool(n int) *bufStack {
+	if st := mb.lastBufs; st != nil && mb.lastLen == n {
+		return st
+	}
+	st := mb.bufs[n]
+	if st == nil {
+		st = new(bufStack)
+		mb.bufs[n] = st
+	}
+	mb.lastLen, mb.lastBufs = n, st
+	return st
+}
+
+// post enqueues a message, drawing the struct from the free list and filling
+// it in place (the fields are arguments rather than a message value so no
+// intermediate struct is copied on the hot path).
+func (mb *mailbox) post(source, tag int, payload any, floats []float64, isFloats, pooled bool, bytes int, arrive float64, seq int64) {
 	mb.mu.Lock()
-	k := key{m.source, m.tag}
-	mb.queues[k] = append(mb.queues[k], m)
+	var mp *message
+	if n := len(mb.free); n > 0 {
+		mp = mb.free[n-1]
+		mb.free[n-1] = nil
+		mb.free = mb.free[:n-1]
+	} else {
+		mp = new(message)
+	}
+	mp.source = source
+	mp.tag = tag
+	mp.payload = payload
+	mp.floats = floats
+	mp.isFloats = isFloats
+	mp.pooled = pooled
+	mp.bytes = bytes
+	mp.arrive = arrive
+	mp.seq = seq
+	k := qkey(source, tag)
+	q := mb.lastPostQ
+	if q == nil || mb.lastPostKey != k {
+		q = mb.queues[k]
+		if q == nil {
+			q = new(msgQueue)
+			mb.queues[k] = q
+		}
+		mb.lastPostKey, mb.lastPostQ = k, q
+	}
+	q.msgs = append(q.msgs, mp)
 	// Clear the receiver's blocked registration under the same lock that
 	// created it, keeping the watchdog's wait-for graph exact.
-	mb.wd.satisfied(mb.rank, k)
+	mb.wd.satisfied(mb.rank, key{source, tag})
 	mb.mu.Unlock()
 	mb.cond.Broadcast()
 }
 
-func (mb *mailbox) take(source, tag int) *message {
-	k := key{source, tag}
+// postCopy is post for SendFloatsCopy: it draws a pooled buffer, copies data
+// into it and enqueues, all under one lock acquisition.
+func (mb *mailbox) postCopy(source, tag int, data []float64, bytes int, arrive float64, seq int64) {
+	mb.mu.Lock()
+	st := mb.pool(len(data))
+	var buf []float64
+	if k := len(st.s); k > 0 {
+		buf = st.s[k-1]
+		st.s[k-1] = nil
+		st.s = st.s[:k-1]
+	} else {
+		buf = make([]float64, len(data))
+	}
+	copy(buf, data)
+	var mp *message
+	if n := len(mb.free); n > 0 {
+		mp = mb.free[n-1]
+		mb.free[n-1] = nil
+		mb.free = mb.free[:n-1]
+	} else {
+		mp = new(message)
+	}
+	mp.source = source
+	mp.tag = tag
+	mp.floats = buf
+	mp.isFloats = true
+	mp.pooled = true
+	mp.bytes = bytes
+	mp.arrive = arrive
+	mp.seq = seq
+	k := qkey(source, tag)
+	q := mb.lastPostQ
+	if q == nil || mb.lastPostKey != k {
+		q = mb.queues[k]
+		if q == nil {
+			q = new(msgQueue)
+			mb.queues[k] = q
+		}
+		mb.lastPostKey, mb.lastPostQ = k, q
+	}
+	q.msgs = append(q.msgs, mp)
+	mb.wd.satisfied(mb.rank, key{source, tag})
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+func (mb *mailbox) take(source, tag int) (message, bool) {
+	return mb.takeCopy(source, tag, nil, nil)
+}
+
+// takeCopy is take with an optional in-lock copy step: when into is non-nil,
+// a float payload is copied into *into (grown from (*into)[:0]) and a pooled
+// buffer is recycled immediately, so a RecvFloatsInto costs one lock
+// acquisition instead of two.
+func (mb *mailbox) takeCopy(source, tag int, into *[]float64, copied *bool) (message, bool) {
+	k := qkey(source, tag)
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	q := mb.lastTakeQ
+	if q == nil || mb.lastTakeKey != k {
+		q = mb.queues[k]
+		if q == nil {
+			q = new(msgQueue)
+			mb.queues[k] = q
+		}
+		mb.lastTakeKey, mb.lastTakeQ = k, q
+	}
 	for {
-		if q := mb.queues[k]; len(q) > 0 {
-			m := q[0]
-			if len(q) == 1 {
-				delete(mb.queues, k)
-			} else {
-				mb.queues[k] = q[1:]
+		if q.head < len(q.msgs) {
+			mp := q.msgs[q.head]
+			q.msgs[q.head] = nil
+			q.head++
+			if q.head == len(q.msgs) {
+				q.msgs = q.msgs[:0]
+				q.head = 0
 			}
-			return m
+			if into != nil && mp.isFloats {
+				*into = append((*into)[:0], mp.floats...)
+				*copied = true
+				if mp.pooled {
+					st := mb.pool(len(mp.floats))
+					st.s = append(st.s, mp.floats)
+					mp.floats = nil
+					mp.pooled = false
+				}
+			}
+			m := *mp
+			*mp = message{}
+			mb.free = append(mb.free, mp)
+			return m, true
 		}
 		if mb.closed {
-			return nil
+			return message{}, false
 		}
-		mb.wd.block(mb.rank, k)
+		mb.wd.block(mb.rank, key{source, tag})
 		mb.cond.Wait()
 		mb.wd.unblock(mb.rank)
 	}
@@ -489,61 +655,87 @@ func (p *Proc) crash() {
 // only the send overhead.  Payloads are passed by reference; senders must
 // not mutate a payload after sending it.
 func (p *Proc) Send(dst, tag int, payload any, bytes int) {
+	p.send(dst, tag, payload, nil, false, false, bytes)
+}
+
+// SendFloats transmits a float slice by reference, like Send but without
+// boxing the slice into an interface (which would allocate per message).
+// Senders must not mutate the slice after sending it.
+func (p *Proc) SendFloats(dst, tag int, data []float64, bytes int) {
+	p.send(dst, tag, nil, data, true, false, bytes)
+}
+
+// SendFloatsCopy transmits a copy of data drawn from the destination's
+// payload pool: the caller may reuse data immediately, and the receiver
+// recycles the copy on RecvFloatsInto.  At steady state this is both safe
+// against aliasing and allocation-free.  Timing is identical to SendFloats.
+func (p *Proc) SendFloatsCopy(dst, tag int, data []float64, bytes int) {
 	if dst < 0 || dst >= p.machine.n {
 		panic(fmt.Sprintf("sim: rank %d send to invalid rank %d", p.rank, dst))
 	}
+	arrive, seq := p.sendClock(dst, tag, bytes)
+	p.machine.boxes[dst].postCopy(p.rank, tag, data, bytes, arrive, seq)
+}
+
+// send is the common transmit path behind Send/SendFloats.  isFloats selects
+// which of payload/floats carries the data.
+func (p *Proc) send(dst, tag int, payload any, floats []float64, isFloats, pooled bool, bytes int) {
+	if dst < 0 || dst >= p.machine.n {
+		panic(fmt.Sprintf("sim: rank %d send to invalid rank %d", p.rank, dst))
+	}
+	arrive, seq := p.sendClock(dst, tag, bytes)
+	p.machine.boxes[dst].post(p.rank, tag, payload, floats, isFloats, pooled, bytes, arrive, seq)
+}
+
+// sendClock charges the sender-side cost of one message — counters, send
+// overhead, fault perturbation and event logging — and returns the message's
+// arrival time and sequence number.
+func (p *Proc) sendClock(dst, tag, bytes int) (arrive float64, seq int64) {
 	p.messagesSent++
 	p.bytesSent += int64(bytes)
-	seq := p.messagesSent
+	seq = p.messagesSent
 	fault := p.machine.fault
 	overhead := p.machine.models[p.rank].SendOverheadSeconds(bytes)
-	if dst == p.rank {
+	wire := 0.0
+	if dst != p.rank {
 		// Self-sends are legal and cost only the overheads, not the wire.
-		if fault != nil {
-			p.faultyAdvance(overhead)
-		} else {
-			p.clock += overhead
-		}
-		p.logSend(dst, bytes, p.clock, seq)
-		p.machine.boxes[dst].post(&message{
-			source: p.rank, tag: tag, payload: payload, bytes: bytes,
-			arrive: p.clock, seq: seq,
-		})
-		return
+		wire = p.machine.models[p.rank].NetworkSeconds(bytes)
 	}
-	wire := p.machine.models[p.rank].NetworkSeconds(bytes)
 	if fault != nil {
 		p.faultyAdvance(overhead)
-		extra, err := fault.SendDelay(p.rank, dst, tag, seq, p.clock)
-		if err != nil {
-			panic(fmt.Errorf("sim: rank %d send to rank %d (tag %d): %w", p.rank, dst, tag, err))
+		if dst != p.rank {
+			extra, err := fault.SendDelay(p.rank, dst, tag, seq, p.clock)
+			if err != nil {
+				panic(fmt.Errorf("sim: rank %d send to rank %d (tag %d): %w", p.rank, dst, tag, err))
+			}
+			wire += extra
 		}
-		wire += extra
 	} else {
 		p.clock += overhead
 	}
 	p.logSend(dst, bytes, p.clock, seq)
-	p.machine.boxes[dst].post(&message{
-		source:  p.rank,
-		tag:     tag,
-		payload: payload,
-		bytes:   bytes,
-		arrive:  p.clock + wire,
-		seq:     seq,
-	})
+	return p.clock + wire, seq
 }
 
-// Recv blocks until a message from rank src with the given tag arrives, then
-// returns its payload.  The local clock advances to at least the message's
-// arrival time plus the receive overhead.
-func (p *Proc) Recv(src, tag int) any {
+// recvMsg blocks until a message from rank src with the given tag arrives,
+// advances the clock to at least its arrival time plus the receive overhead,
+// and returns it.
+func (p *Proc) recvMsg(src, tag int) message {
 	if src < 0 || src >= p.machine.n {
 		panic(fmt.Sprintf("sim: rank %d recv from invalid rank %d", p.rank, src))
 	}
-	m := p.machine.boxes[p.rank].take(src, tag)
-	if m == nil {
+	m, ok := p.machine.boxes[p.rank].take(src, tag)
+	if !ok {
 		panic(&abortedError{rank: p.rank})
 	}
+	p.arriveMsg(&m)
+	return m
+}
+
+// arriveMsg charges the receiver-side cost of a just-taken message: the wait
+// until its arrival time, the receive overhead, any fault perturbation, and
+// the event log entry.
+func (p *Proc) arriveMsg(m *message) {
 	waitedFrom := p.clock
 	if m.arrive > p.clock {
 		if m.arrive >= p.crashAt {
@@ -563,12 +755,59 @@ func (p *Proc) Recv(src, tag int) any {
 		p.clock += overhead
 	}
 	p.logRecv(m.source, m.bytes, waitedFrom, p.clock, m.seq)
+}
+
+// Recv blocks until a message from rank src with the given tag arrives, then
+// returns its payload.  The local clock advances to at least the message's
+// arrival time plus the receive overhead.
+func (p *Proc) Recv(src, tag int) any {
+	m := p.recvMsg(src, tag)
+	if m.isFloats {
+		// A typed payload received through the untyped path transfers
+		// ownership to the caller; it is never recycled.
+		return m.floats
+	}
 	return m.payload
+}
+
+// RecvFloats receives a float payload by reference: ownership of the slice
+// transfers to the caller.
+func (p *Proc) RecvFloats(src, tag int) []float64 {
+	m := p.recvMsg(src, tag)
+	if m.isFloats {
+		return m.floats
+	}
+	return m.payload.([]float64)
+}
+
+// RecvFloatsInto receives a float payload by copying it into buf (grown as
+// needed from buf[:0]) and returns the filled slice.  Pooled payloads —
+// those sent with SendFloatsCopy — are recycled into this rank's payload
+// pool, so a steady-state SendFloatsCopy/RecvFloatsInto exchange allocates
+// nothing.  Timing is identical to RecvFloats.
+func (p *Proc) RecvFloatsInto(src, tag int, buf []float64) []float64 {
+	if src < 0 || src >= p.machine.n {
+		panic(fmt.Sprintf("sim: rank %d recv from invalid rank %d", p.rank, src))
+	}
+	var copied bool
+	m, ok := p.machine.boxes[p.rank].takeCopy(src, tag, &buf, &copied)
+	if !ok {
+		panic(&abortedError{rank: p.rank})
+	}
+	p.arriveMsg(&m)
+	if copied {
+		return buf
+	}
+	// Untyped payloads fall back to the copy-after-take path.
+	if m.payload == nil {
+		return buf[:0]
+	}
+	return append(buf[:0], m.payload.([]float64)...)
 }
 
 // RecvFloat64s receives and type-asserts a []float64 payload.
 func (p *Proc) RecvFloat64s(src, tag int) []float64 {
-	return p.Recv(src, tag).([]float64)
+	return p.RecvFloats(src, tag)
 }
 
 // Account attributes seconds of already-elapsed virtual time to a named
