@@ -19,8 +19,10 @@ import (
 	"agcm/internal/grid"
 	"agcm/internal/history"
 	"agcm/internal/machine"
+	"agcm/internal/diag"
 	"agcm/internal/physics"
 	"agcm/internal/stats"
+	"agcm/internal/topology"
 	"agcm/internal/trace"
 )
 
@@ -84,6 +86,12 @@ func main() {
 		"inject faults, e.g. 'seed=42;slow:rank=3,at=1.5,factor=4;crash:rank=1,at=9;jitter:max=2e-4;drop:prob=0.01,retries=4,timeout=5e-3'")
 	checkpointEvery := flag.Int("checkpoint-every", 0,
 		"checkpoint the model state every N measured steps (0 = off); the last checkpoint survives a crashed run")
+	topologyStr := flag.String("topology", "",
+		"model the interconnect: none, auto (machine's own), mesh[:XxY], torus[:XxYxZ], switch")
+	placementStr := flag.String("placement", "",
+		"rank placement on the topology: rowmajor, snake, blocked, perm:n0,n1,...")
+	commMatrixFile := flag.String("comm-matrix", "",
+		"write the rank-by-rank communication matrix JSON to this path ('-' prints the hottest pairs instead)")
 	flag.Parse()
 
 	mach, err := machine.ByName(*machName)
@@ -111,10 +119,15 @@ func main() {
 		Filter:          fv,
 		PhysicsScheme:   scheme,
 		PhysicsRounds:   *rounds,
-		Dt:              *dt,
-		EventLog:        *traceFile != "",
+		Dt: *dt,
+		// The event log also feeds the communication matrix and the
+		// topology contention replay.
+		EventLog: *traceFile != "" || *commMatrixFile != "" ||
+			(*topologyStr != "" && *topologyStr != "none"),
 		CaptureState:    *saveState != "",
 		CheckpointEvery: *checkpointEvery,
+		Topology:        *topologyStr,
+		Placement:       *placementStr,
 	}
 	if *faultSpec != "" {
 		spec, err := fault.Parse(*faultSpec)
@@ -183,6 +196,33 @@ func main() {
 		rep.MessagesPerStep, rep.BytesPerStep/1e6, stats.Percent(rep.MaxWaitShare))
 	fmt.Printf("Stability: max |h| = %.0f m (resting depth %d m)\n",
 		rep.MaxAbsH, dynamics.MeanDepth)
+
+	if net := rep.Network; net != nil {
+		fmt.Printf("\nInterconnect: %s, placement %s\n",
+			net.Topology().Name(), net.Placement().Name())
+		crep, err := net.Contend(topology.TransfersFromEvents(rep.Raw.Events))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(trace.LinkUtilizationTable(net.LinkStats(), crep, rep.Raw.MaxClock(), 10))
+	}
+
+	if *commMatrixFile != "" {
+		cm := trace.NewCommMatrix(rep.Raw)
+		if *commMatrixFile == "-" {
+			fmt.Println()
+			fmt.Print(diag.CommMatrixTable(cm, 10))
+		} else {
+			raw, err := cm.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*commMatrixFile, raw, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote communication matrix to %s\n", *commMatrixFile)
+		}
+	}
 
 	if *saveState != "" {
 		writeCheckpoint(*saveState, rep.FinalState)

@@ -25,6 +25,10 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	benchJSON := flag.String("bench-json", "",
 		"run the host benchmark suite and write the JSON report to this file ('-' for stdout)")
+	topologyStr := flag.String("topology", "",
+		"route every run over an interconnect model: auto, mesh[:XxY], torus[:XxYxZ], switch")
+	placementStr := flag.String("placement", "",
+		"rank placement for -topology: rowmajor, snake, blocked, perm:n0,n1,...")
 	flag.Parse()
 	if *format != "table" && *format != "csv" {
 		fatal(fmt.Errorf("unknown format %q (table, csv)", *format))
@@ -38,7 +42,11 @@ func main() {
 		writeBenchJSON(*benchJSON)
 		return
 	}
-	opt := experiments.Options{MeasuredSteps: *steps}
+	opt := experiments.Options{
+		MeasuredSteps: *steps,
+		Topology:      *topologyStr,
+		Placement:     *placementStr,
+	}
 
 	var outs []*experiments.Output
 	if *expName == "all" {

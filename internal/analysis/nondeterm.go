@@ -42,7 +42,7 @@ var nondetermScope = map[string]bool{
 	// experiments' reproducibility contract.
 	"trace": true, "diag": true, "experiments": true, "stats": true,
 	"history": true, "fault": true, "machine": true, "cachesim": true,
-	"singlenode": true,
+	"singlenode": true, "topology": true,
 }
 
 // inNondetermScope reports whether the package with the given import path is

@@ -87,3 +87,43 @@ func AllowOnLineAbove(m map[int]int) map[int]int {
 	}
 	return doubled
 }
+
+// linkRegistry mirrors the topology package's packed-pair link index: a map
+// for O(1) lookup plus an ordered slice as the source of truth.  Its
+// consistency check may range the map with an annotation (each iteration
+// only cross-checks its own entry), but routing or reporting must never
+// derive results from map order.
+type linkRegistry struct {
+	ids  map[uint64]int
+	ends [][2]int
+}
+
+// CheckRegistry is the approved pattern: an annotated order-insensitive
+// cross-check of the map view against the slice view.
+func CheckRegistry(r *linkRegistry) {
+	//lint:allow nondeterm each iteration cross-checks only its own ranged entry against the ends slice
+	for k, id := range r.ids {
+		if r.ends[id] != [2]int{int(k >> 32), int(uint32(k))} {
+			panic("registry mismatch")
+		}
+	}
+}
+
+// LinkIDsFromMap derives an ordered result from map iteration: flagged.
+func LinkIDsFromMap(r *linkRegistry) []int {
+	var ids []int
+	for _, id := range r.ids { // want `range over map r\.ids: iteration order is nondeterministic`
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// LinkBytesSum accumulates floats over map order without an annotation:
+// flagged, because float addition order changes the bits.
+func LinkBytesSum(busy map[int]float64) float64 {
+	total := 0.0
+	for _, v := range busy { // want `range over map busy: iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}

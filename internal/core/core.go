@@ -19,6 +19,7 @@ import (
 	"agcm/internal/machine"
 	"agcm/internal/physics"
 	"agcm/internal/sim"
+	"agcm/internal/topology"
 )
 
 // FilterVariant selects the spectral-filtering implementation.
@@ -122,6 +123,17 @@ type Config struct {
 	// All faults are scheduled in virtual time from the spec's seed, so
 	// a faulty run is exactly as reproducible as a healthy one.
 	Fault *fault.Spec
+	// Topology, when non-empty and not "none", replaces the flat network
+	// with a routed interconnect model (see topology.ByName): "auto" picks
+	// the machine's historical topology, or name one explicitly ("mesh",
+	// "mesh:XxY", "torus", "torus:XxYxZ", "switch").  The routed model
+	// charges hop latency and injection-port queueing per message and
+	// records per-link traffic on Report.Network.
+	Topology string
+	// Placement lays the ranks out on the topology's nodes (see
+	// topology.PlacementByName): "rowmajor" (default), "snake", "blocked"
+	// or "perm:n0,n1,...".  Ignored without a Topology.
+	Placement string
 }
 
 // withDefaults fills derived and defaulted fields.
@@ -235,6 +247,12 @@ type Report struct {
 	// Raw is the underlying simulation result (clocks, accounts,
 	// traffic), for the trace package's utilization views.
 	Raw *sim.Result
+
+	// Network is the routed interconnect model when Config.Topology was
+	// set (nil otherwise): per-link traffic via Network.LinkStats, and —
+	// with Config.EventLog — deterministic contention replay via
+	// Network.Contend.
+	Network *topology.Network
 }
 
 // Imbalance returns (max-avg)/avg of a load vector (paper's definition).
@@ -304,6 +322,24 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 	}
 	if cfg.EventLog {
 		m.EnableEventLog()
+	}
+	var network *topology.Network
+	if cfg.Topology != "" && cfg.Topology != "none" {
+		topo, err := topology.ByName(cfg.Topology, cfg.Machine.Name, ranks)
+		if err != nil {
+			return nil, err
+		}
+		place, err := topology.PlacementByName(cfg.Placement, topo)
+		if err != nil {
+			return nil, err
+		}
+		network, err = topology.NewNetwork(topo, place, cfg.Machine)
+		if err != nil {
+			return nil, err
+		}
+		m.SetRouteModel(network)
+	} else if cfg.Placement != "" {
+		return nil, fmt.Errorf("core: placement %q needs a topology", cfg.Placement)
 	}
 	if !cfg.Fault.Empty() {
 		m.SetFaultHook(fault.NewInjector(cfg.Fault))
@@ -403,6 +439,7 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 			Ranks:       ranks,
 			StepsPerDay: stepsPerDay,
 			Checkpoints: checkpoints,
+			Network:     network,
 		}, err
 	}
 
@@ -469,6 +506,7 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 		MaxAbsH:         maxOf(maxAbsH),
 		FinalState:      finalState,
 		Checkpoints:     checkpoints,
+		Network:         network,
 	}
 	return rep, nil
 }

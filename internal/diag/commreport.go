@@ -1,0 +1,39 @@
+package diag
+
+import (
+	"fmt"
+	"strings"
+
+	"agcm/internal/trace"
+)
+
+// CommMatrixTable renders a run's communication matrix for a performance
+// report: machine-wide traffic totals followed by the topN hottest
+// sender/receiver pairs, heaviest first.  It is the human-readable companion
+// of trace.CommMatrix's JSON export.
+func CommMatrixTable(m *trace.CommMatrix, topN int) string {
+	if m == nil {
+		return "communication matrix: event log not enabled\n"
+	}
+	if topN < 1 {
+		topN = 1
+	}
+	var msgs int64
+	for _, c := range m.Msgs {
+		msgs += c
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "communication matrix: %d ranks, %d messages, %.2f MB\n",
+		m.Ranks, msgs, float64(m.TotalBytes())/1e6)
+	pairs := m.HottestPairs(topN)
+	if len(pairs) == 0 {
+		b.WriteString("  no off-rank traffic\n")
+		return b.String()
+	}
+	b.WriteString("  hottest pairs:\n")
+	for i, p := range pairs {
+		fmt.Fprintf(&b, "  %3d. rank %4d -> %-4d  %8d msgs  %10.1f kB\n",
+			i+1, p.Src, p.Dst, p.Msgs, float64(p.Bytes)/1e3)
+	}
+	return b.String()
+}

@@ -26,7 +26,7 @@ func AblationPhysicsSchemes(opt Options) (*Output, error) {
 			Filter:        core.FilterFFTBalanced,
 			PhysicsScheme: scheme,
 			PhysicsRounds: 2,
-		}, opt.steps())
+		}, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -59,7 +59,7 @@ func AblationRingVsTree(opt Options) (*Output, error) {
 				MeshPy: mesh[0], MeshPx: mesh[1],
 				Filter:        fv,
 				PhysicsScheme: physics.None,
-			}, opt.steps())
+			}, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -91,7 +91,7 @@ func AblationPairwiseRounds(opt Options) (*Output, error) {
 			Filter:        core.FilterFFTBalanced,
 			PhysicsScheme: scheme,
 			PhysicsRounds: max(rounds, 1),
-		}, opt.steps())
+		}, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -136,7 +136,7 @@ func AblationCommPatterns(opt Options) (*Output, error) {
 			MeshPy: 8, MeshPx: 30,
 			Filter:        fv,
 			PhysicsScheme: physics.None,
-		}, opt.steps())
+		}, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +176,7 @@ func AblationPolarTreatment(opt Options) (*Output, error) {
 				MeshPy: mesh[0], MeshPx: mesh[1],
 				Filter:        fv,
 				PhysicsScheme: physics.None,
-			}, opt.steps())
+			}, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -223,7 +223,7 @@ func AblationDegradedNode(opt Options) (*Output, error) {
 			cfg.DegradeRank = 27 // a mid-latitude node
 			cfg.DegradeFactor = 3
 		}
-		rep, err := run(cfg, opt.steps())
+		rep, err := run(cfg, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -258,7 +258,7 @@ func AblationSP2(opt Options) (*Output, error) {
 				MeshPy: mesh[0], MeshPx: mesh[1],
 				Filter:        fv,
 				PhysicsScheme: physics.None,
-			}, opt.steps())
+			}, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -301,7 +301,7 @@ func AblationResolution(opt Options) (*Output, error) {
 				MeshPy: mesh[0], MeshPx: mesh[1],
 				Filter:        core.FilterFFTBalanced,
 				PhysicsScheme: physics.None,
-			}, opt.steps())
+			}, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -341,7 +341,7 @@ func AblationLayerScaling(opt Options) (*Output, error) {
 				MeshPy: mesh[0], MeshPx: mesh[1],
 				Filter:        core.FilterFFTBalanced,
 				PhysicsScheme: physics.None,
-			}, opt.steps())
+			}, opt)
 			if err != nil {
 				return nil, err
 			}

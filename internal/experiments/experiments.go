@@ -37,6 +37,12 @@ type Options struct {
 	// MeasuredSteps is the number of time steps measured per run
 	// (after warmup); more steps average the physics variability.
 	MeasuredSteps int
+	// Topology and Placement, when set, install a routed interconnect
+	// model (see topology.ByName) on every run that does not choose its
+	// own — rerunning the paper's tables under hop latency and injection
+	// queueing instead of the flat network.
+	Topology  string
+	Placement string
 }
 
 // DefaultOptions returns the settings used by the command-line harness.
@@ -57,8 +63,14 @@ var filterMeshes = [][2]int{{4, 4}, {4, 8}, {8, 8}, {4, 30}, {8, 30}}
 
 func meshName(py, px int) string { return fmt.Sprintf("%d x %d", py, px) }
 
-func run(cfg core.Config, steps int) (*core.Report, error) {
-	return core.Run(cfg, steps)
+func run(cfg core.Config, opt Options) (*core.Report, error) {
+	// A harness-wide topology (agcmbench -topology) applies to every run
+	// that does not pick its own; "none" opts a run out explicitly.
+	if cfg.Topology == "" && opt.Topology != "" {
+		cfg.Topology = opt.Topology
+		cfg.Placement = opt.Placement
+	}
+	return core.Run(cfg, opt.steps())
 }
 
 // --- Figure 1 --------------------------------------------------------------
@@ -82,7 +94,7 @@ func Figure1(opt Options) (*Output, error) {
 			MeshPy: mesh[0], MeshPx: mesh[1],
 			Filter:        core.FilterConvolutionRing,
 			PhysicsScheme: physics.None,
-		}, opt.steps())
+		}, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -106,7 +118,7 @@ func physicsLB(py, px int, opt Options) (*stats.Table, error) {
 		MeshPy: py, MeshPx: px,
 		Filter:        core.FilterFFTBalanced,
 		PhysicsScheme: physics.None,
-	}, opt.steps())
+	}, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +198,7 @@ func wholeCode(id, title string, mach *machine.Model, fv core.FilterVariant,
 			MeshPy: mesh[0], MeshPx: mesh[1],
 			Filter:        fv,
 			PhysicsScheme: physics.None,
-		}, opt.steps())
+		}, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +268,7 @@ func filterTimes(id, title string, mach *machine.Model, layers int,
 				MeshPy: mesh[0], MeshPx: mesh[1],
 				Filter:        fv,
 				PhysicsScheme: physics.None,
-			}, opt.steps())
+			}, opt)
 			if err != nil {
 				return nil, err
 			}
@@ -351,7 +363,7 @@ func All(opt Options) ([]*Output, error) {
 		AblationPhysicsSchemes, AblationRingVsTree, AblationPairwiseRounds,
 		AblationCommPatterns, AblationPolarTreatment, AblationSP2,
 		AblationDegradedNode, AblationResolution, AblationLayerScaling,
-		CrashRecovery,
+		CrashRecovery, Interconnect,
 	}
 	var outs []*Output
 	for _, fn := range fns {
@@ -381,6 +393,7 @@ func ByID(id string, opt Options) (*Output, error) {
 		"ablation-resolution": AblationResolution,
 		"ablation-layers":     AblationLayerScaling,
 		"crash-recovery":      CrashRecovery,
+		"interconnect":        Interconnect,
 	}
 	fn, ok := fns[id]
 	if !ok {
@@ -396,5 +409,5 @@ func IDs() []string {
 		"blockarray", "advection", "ablation-schemes", "ablation-topology",
 		"ablation-rounds", "ablation-comm", "ablation-polar", "ablation-sp2",
 		"ablation-degraded", "ablation-resolution", "ablation-layers",
-		"crash-recovery"}
+		"crash-recovery", "interconnect"}
 }

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestInterconnectStory checks the experiment's claims: routed networks make
+// the transpose-heavy run placement-sensitive, mesh and torus price the same
+// program differently, and the whole thing is bit-reproducible.
+func TestInterconnectStory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	out, err := Interconnect(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != "interconnect" || len(out.Tables) != 2 {
+		t.Fatalf("bad output: %+v", out)
+	}
+	mesh, torus := out.Tables[0], out.Tables[1]
+	for _, tbl := range out.Tables {
+		if len(tbl.Rows) != 4 {
+			t.Fatalf("%s: %d rows, want flat + 3 placements", tbl.Title, len(tbl.Rows))
+		}
+	}
+	// Column indices: 0 network, 1 placement, 2 mean hops, 3 filter s/day,
+	// 4 comm s/day, 5 total s/day, 6 stall ms.
+	const filterCol, totalCol, stallCol = 3, 5, 6
+
+	// Placement must matter: on the mesh, the three routed placements give
+	// at least two distinct filter (transpose) costs.
+	distinct := map[string]bool{}
+	for _, row := range mesh.Rows[1:] {
+		distinct[row[filterCol]] = true
+	}
+	if len(distinct) < 2 {
+		t.Fatalf("mesh filter cost identical across placements: %v", mesh.Rows)
+	}
+
+	// Topology must matter: the same placement priced on mesh vs torus
+	// differs (torus wraparound halves worst-case ring distances).
+	for i := 1; i < 4; i++ {
+		if mesh.Rows[i][filterCol] == torus.Rows[i][filterCol] &&
+			mesh.Rows[i][totalCol] == torus.Rows[i][totalCol] {
+			t.Fatalf("placement %s priced identically on mesh and torus",
+				mesh.Rows[i][1])
+		}
+	}
+
+	// Routed rows cost at least as much as flat (hops and queueing only add
+	// time under the default calibration).
+	for _, tbl := range out.Tables {
+		flat := cell(t, tbl.Rows[0][totalCol])
+		for _, row := range tbl.Rows[1:] {
+			if cell(t, row[totalCol]) < flat {
+				t.Fatalf("routed run cheaper than flat: %v", row)
+			}
+		}
+	}
+
+	// The all-to-all transpose must actually contend somewhere.
+	var anyStall bool
+	for _, row := range mesh.Rows[1:] {
+		if cell(t, row[stallCol]) > 0 {
+			anyStall = true
+		}
+	}
+	if !anyStall {
+		t.Fatal("no link contention recorded on the mesh")
+	}
+
+	// Bit-reproducible end to end, tables and all.
+	again, err := Interconnect(testOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, again) {
+		t.Fatal("interconnect experiment is not deterministic")
+	}
+}

@@ -180,16 +180,37 @@ func All() []*Model {
 	return []*Model{Paragon(), CrayT3D(), IBMSP2()}
 }
 
-// ByName returns the model whose Name contains the given case-sensitive
-// short name ("Paragon", "T3D", "SP-2"), or an error.
+// ByName returns the model matching a machine name, case-insensitively and
+// ignoring spaces and dashes.  Both the short names used on command lines
+// ("paragon", "t3d", "sp2") and every Model.Name round-trip: ByName(m.Name)
+// returns a model equal to m for each m in All().
 func ByName(name string) (*Model, error) {
-	switch name {
-	case "paragon", "Paragon":
+	switch canonicalName(name) {
+	case "paragon", "intelparagon":
 		return Paragon(), nil
-	case "t3d", "T3D":
+	case "t3d", "crayt3d":
 		return CrayT3D(), nil
-	case "sp2", "SP-2", "SP2":
+	case "sp2", "ibmsp2":
 		return IBMSP2(), nil
 	}
-	return nil, fmt.Errorf("machine: unknown machine %q (want paragon, t3d or sp2)", name)
+	return nil, fmt.Errorf(
+		"machine: unknown machine %q (want paragon/\"Intel Paragon\", t3d/\"Cray T3D\" or sp2/\"IBM SP-2\", any case)",
+		name)
+}
+
+// canonicalName lower-cases a machine name and strips spaces and dashes, so
+// "IBM SP-2" and "ibmsp2" compare equal.
+func canonicalName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			out = append(out, c+'a'-'A')
+		case c == ' ' || c == '-' || c == '_':
+		default:
+			out = append(out, c)
+		}
+	}
+	return string(out)
 }

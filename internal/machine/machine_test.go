@@ -75,13 +75,32 @@ func TestT3DFasterThanParagon(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"paragon", "t3d", "sp2", "Paragon", "T3D", "SP-2"} {
+	for _, name := range []string{"paragon", "t3d", "sp2", "Paragon", "T3D", "SP-2",
+		"PARAGON", "Sp-2", "cray t3d", "ibm sp2"} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
 	}
 	if _, err := ByName("cm5"); err == nil {
 		t.Errorf("ByName(cm5) should fail")
+	}
+	if _, err := ByName(""); err == nil {
+		t.Errorf("ByName(\"\") should fail")
+	}
+}
+
+func TestByNameRoundTripsModelName(t *testing.T) {
+	// The report header prints Model.Name; operators paste it back into
+	// -machine.  Every display name must resolve to the same model.
+	for _, m := range All() {
+		got, err := ByName(m.Name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", m.Name, err)
+			continue
+		}
+		if got.Name != m.Name {
+			t.Errorf("ByName(%q).Name = %q", m.Name, got.Name)
+		}
 	}
 }
 

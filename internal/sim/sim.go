@@ -310,6 +310,7 @@ type Machine struct {
 	boxes     []*mailbox
 	logEvents bool
 	fault     FaultHook
+	routes    RouteModel
 	wd        *watchdog
 }
 
@@ -696,22 +697,28 @@ func (p *Proc) sendClock(dst, tag, bytes int) (arrive float64, seq int64) {
 	seq = p.messagesSent
 	fault := p.machine.fault
 	overhead := p.machine.models[p.rank].SendOverheadSeconds(bytes)
+	if fault != nil {
+		p.faultyAdvance(overhead)
+	} else {
+		p.clock += overhead
+	}
 	wire := 0.0
 	if dst != p.rank {
 		// Self-sends are legal and cost only the overheads, not the wire.
-		wire = p.machine.models[p.rank].NetworkSeconds(bytes)
-	}
-	if fault != nil {
-		p.faultyAdvance(overhead)
-		if dst != p.rank {
+		// The route model (when installed) sees the post-overhead clock:
+		// the instant the message actually reaches the network.
+		if rm := p.machine.routes; rm != nil {
+			wire = rm.RouteSeconds(p.rank, dst, bytes, p.clock)
+		} else {
+			wire = p.machine.models[p.rank].NetworkSeconds(bytes)
+		}
+		if fault != nil {
 			extra, err := fault.SendDelay(p.rank, dst, tag, seq, p.clock)
 			if err != nil {
 				panic(fmt.Errorf("sim: rank %d send to rank %d (tag %d): %w", p.rank, dst, tag, err))
 			}
 			wire += extra
 		}
-	} else {
-		p.clock += overhead
 	}
 	p.logSend(dst, bytes, p.clock, seq)
 	return p.clock + wire, seq

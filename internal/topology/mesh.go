@@ -1,0 +1,138 @@
+package topology
+
+import "fmt"
+
+// linkRegistry assigns dense ids to directed point-to-point links.  Ids are
+// handed out in registration order, so topologies that enumerate their links
+// deterministically at construction get deterministic ids; the map is only
+// used for O(1) lookup on the routing hot path.
+type linkRegistry struct {
+	ids  map[uint64]int // packed (from, to) node pair -> link id
+	ends [][2]int       // link id -> (from, to), the ordered source of truth
+}
+
+func newLinkRegistry() *linkRegistry {
+	return &linkRegistry{ids: make(map[uint64]int)}
+}
+
+// packPair packs a directed node pair into one map key.  Node indices fit in
+// 32 bits, so the packing is injective.
+func packPair(from, to int) uint64 {
+	return uint64(uint32(from))<<32 | uint64(uint32(to))
+}
+
+// add registers the directed link from->to and returns its id, or the
+// existing id if the link was already registered.
+func (r *linkRegistry) add(from, to int) int {
+	k := packPair(from, to)
+	if id, ok := r.ids[k]; ok {
+		return id
+	}
+	id := len(r.ends)
+	r.ids[k] = id
+	r.ends = append(r.ends, [2]int{from, to})
+	return id
+}
+
+// lookup returns the id of the directed link from->to, panicking if the
+// topology never registered it — a routing bug, not a runtime condition.
+func (r *linkRegistry) lookup(from, to int) int {
+	id, ok := r.ids[packPair(from, to)]
+	if !ok {
+		panic(fmt.Sprintf("topology: no link %d->%d", from, to))
+	}
+	return id
+}
+
+// check verifies the map and slice views of the registry agree.  Called once
+// at construction; a mismatch is a construction bug.
+func (r *linkRegistry) check() {
+	if len(r.ids) != len(r.ends) {
+		panic(fmt.Sprintf("topology: link registry has %d keys for %d links", len(r.ids), len(r.ends)))
+	}
+	//lint:allow nondeterm each iteration only cross-checks its own ranged entry against the ends slice; no result depends on visit order
+	for k, id := range r.ids {
+		from, to := int(k>>32), int(uint32(k))
+		if r.ends[id] != [2]int{from, to} {
+			panic(fmt.Sprintf("topology: link registry entry %d->%d maps to id %d owned by %v",
+				from, to, id, r.ends[id]))
+		}
+	}
+}
+
+// Mesh2D is a 2-D mesh without wraparound — the Intel Paragon XP/S
+// interconnect.  Nodes are numbered row-major: node = y*NX + x with
+// x in [0, NX) and y in [0, NY).  Each interior node has bidirectional
+// channels to its four neighbours, modelled as two directed links.
+type Mesh2D struct {
+	NX, NY int
+	reg    *linkRegistry
+}
+
+// NewMesh2D builds an NX x NY mesh.
+func NewMesh2D(nx, ny int) (*Mesh2D, error) {
+	if nx < 1 || ny < 1 {
+		return nil, fmt.Errorf("topology: invalid mesh extents %dx%d", nx, ny)
+	}
+	m := &Mesh2D{NX: nx, NY: ny, reg: newLinkRegistry()}
+	// Register links in a fixed order: +x and -x row by row, then +y/-y.
+	for y := 0; y < ny; y++ {
+		for x := 0; x+1 < nx; x++ {
+			a, b := m.node(x, y), m.node(x+1, y)
+			m.reg.add(a, b)
+			m.reg.add(b, a)
+		}
+	}
+	for y := 0; y+1 < ny; y++ {
+		for x := 0; x < nx; x++ {
+			a, b := m.node(x, y), m.node(x, y+1)
+			m.reg.add(a, b)
+			m.reg.add(b, a)
+		}
+	}
+	m.reg.check()
+	return m, nil
+}
+
+func (m *Mesh2D) node(x, y int) int { return y*m.NX + x }
+
+// Name implements Topology.
+func (m *Mesh2D) Name() string { return fmt.Sprintf("2-D mesh %dx%d", m.NX, m.NY) }
+
+// Nodes implements Topology.
+func (m *Mesh2D) Nodes() int { return m.NX * m.NY }
+
+// NumLinks implements Topology.
+func (m *Mesh2D) NumLinks() int { return len(m.reg.ends) }
+
+// LinkName implements Topology.
+func (m *Mesh2D) LinkName(id int) string {
+	e := m.reg.ends[id]
+	return fmt.Sprintf("(%d,%d)->(%d,%d)", e[0]%m.NX, e[0]/m.NX, e[1]%m.NX, e[1]/m.NX)
+}
+
+// Route implements Topology: dimension-ordered (X then Y) wormhole routing,
+// the Paragon's deadlock-free discipline.
+func (m *Mesh2D) Route(a, b int, buf []int) []int {
+	ax, ay := a%m.NX, a/m.NX
+	bx, by := b%m.NX, b/m.NX
+	x, y := ax, ay
+	for x != bx {
+		nx := x + sign(bx-x)
+		buf = append(buf, m.reg.lookup(m.node(x, y), m.node(nx, y)))
+		x = nx
+	}
+	for y != by {
+		ny := y + sign(by-y)
+		buf = append(buf, m.reg.lookup(m.node(x, y), m.node(x, ny)))
+		y = ny
+	}
+	return buf
+}
+
+func sign(d int) int {
+	if d < 0 {
+		return -1
+	}
+	return 1
+}

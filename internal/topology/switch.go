@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Multistage is an omega-style multistage switch — the IBM SP-2's
+// High-Performance Switch, built from small crossbars in log stages.  The
+// network has Stages stages of Width wires each; a message from node a to
+// node b follows the unique digit-correction path, occupying one wire per
+// stage.  Unlike the mesh and torus, every node pair is the same distance
+// apart, but paths still share interior wires, so congestion is real: the
+// wire after the last stage is b's ejection port, where converging traffic
+// (e.g. a gather root) serializes.
+type Multistage struct {
+	N      int // nodes actually attached
+	Radix  int // crossbar radix (power of two)
+	Stages int
+	Width  int // wires per stage = Radix^Stages >= N
+	shift  uint
+}
+
+// NewMultistage builds a switch for n nodes from radix-r crossbars.  The
+// radix must be a power of two in [2, 16]; the wire count per stage is the
+// smallest power of the radix covering n.
+func NewMultistage(n, radix int) (*Multistage, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology: invalid switch size %d", n)
+	}
+	if radix < 2 || radix > 16 || bits.OnesCount(uint(radix)) != 1 {
+		return nil, fmt.Errorf("topology: switch radix %d must be a power of two in [2,16]", radix)
+	}
+	shift := uint(bits.TrailingZeros(uint(radix)))
+	stages, width := 1, radix
+	for width < n {
+		stages++
+		width <<= shift
+	}
+	return &Multistage{N: n, Radix: radix, Stages: stages, Width: width, shift: shift}, nil
+}
+
+// Name implements Topology.
+func (s *Multistage) Name() string {
+	return fmt.Sprintf("multistage switch %d-way (%d stages of radix %d)", s.N, s.Stages, s.Radix)
+}
+
+// Nodes implements Topology.
+func (s *Multistage) Nodes() int { return s.N }
+
+// NumLinks implements Topology.
+func (s *Multistage) NumLinks() int { return s.Stages * s.Width }
+
+// LinkName implements Topology.
+func (s *Multistage) LinkName(id int) string {
+	return fmt.Sprintf("stage %d wire %d", id/s.Width, id%s.Width)
+}
+
+// Route implements Topology: the omega network's digit-correction path.
+// The wire leaving stage k carries the high digits of the destination and
+// the not-yet-shifted-out low digits of the source; the wire after the last
+// stage is exactly b, the destination's ejection port.
+func (s *Multistage) Route(a, b int, buf []int) []int {
+	if a == b {
+		return buf
+	}
+	mask := s.Width - 1
+	for k := 0; k < s.Stages; k++ {
+		wire := ((a << (s.shift * uint(k+1))) & mask) | (b >> (s.shift * uint(s.Stages-1-k)))
+		buf = append(buf, k*s.Width+wire)
+	}
+	return buf
+}

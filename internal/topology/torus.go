@@ -1,0 +1,102 @@
+package topology
+
+import "fmt"
+
+// Torus3D is a 3-D torus — the Cray T3D interconnect.  Nodes are numbered
+// x-fastest: node = (z*NY + y)*NX + x.  Every dimension wraps, so each node
+// has directed links in both directions of every dimension whose extent
+// exceeds one.
+type Torus3D struct {
+	NX, NY, NZ int
+	reg        *linkRegistry
+}
+
+// NewTorus3D builds an NX x NY x NZ torus.
+func NewTorus3D(nx, ny, nz int) (*Torus3D, error) {
+	if nx < 1 || ny < 1 || nz < 1 {
+		return nil, fmt.Errorf("topology: invalid torus extents %dx%dx%d", nx, ny, nz)
+	}
+	t := &Torus3D{NX: nx, NY: ny, NZ: nz, reg: newLinkRegistry()}
+	// Register each dimension's rings in a fixed order.  An extent-1
+	// dimension has no links; an extent-2 dimension has a single pair of
+	// opposing channels between its two nodes.
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				n := t.node(x, y, z)
+				if nx > 1 {
+					t.reg.add(n, t.node((x+1)%nx, y, z))
+					t.reg.add(n, t.node((x-1+nx)%nx, y, z))
+				}
+				if ny > 1 {
+					t.reg.add(n, t.node(x, (y+1)%ny, z))
+					t.reg.add(n, t.node(x, (y-1+ny)%ny, z))
+				}
+				if nz > 1 {
+					t.reg.add(n, t.node(x, y, (z+1)%nz))
+					t.reg.add(n, t.node(x, y, (z-1+nz)%nz))
+				}
+			}
+		}
+	}
+	t.reg.check()
+	return t, nil
+}
+
+func (t *Torus3D) node(x, y, z int) int { return (z*t.NY+y)*t.NX + x }
+
+func (t *Torus3D) coords(n int) (x, y, z int) {
+	return n % t.NX, (n / t.NX) % t.NY, n / (t.NX * t.NY)
+}
+
+// Name implements Topology.
+func (t *Torus3D) Name() string { return fmt.Sprintf("3-D torus %dx%dx%d", t.NX, t.NY, t.NZ) }
+
+// Nodes implements Topology.
+func (t *Torus3D) Nodes() int { return t.NX * t.NY * t.NZ }
+
+// NumLinks implements Topology.
+func (t *Torus3D) NumLinks() int { return len(t.reg.ends) }
+
+// LinkName implements Topology.
+func (t *Torus3D) LinkName(id int) string {
+	e := t.reg.ends[id]
+	ax, ay, az := t.coords(e[0])
+	bx, by, bz := t.coords(e[1])
+	return fmt.Sprintf("(%d,%d,%d)->(%d,%d,%d)", ax, ay, az, bx, by, bz)
+}
+
+// Route implements Topology: dimension-ordered (X, then Y, then Z) routing,
+// stepping each ring in its shortest direction (ties go the positive way) —
+// the T3D's deterministic dimension-order discipline.
+func (t *Torus3D) Route(a, b int, buf []int) []int {
+	ax, ay, az := t.coords(a)
+	bx, by, bz := t.coords(b)
+	x, y, z := ax, ay, az
+	for x != bx {
+		nx := (x + ringStep(x, bx, t.NX) + t.NX) % t.NX
+		buf = append(buf, t.reg.lookup(t.node(x, y, z), t.node(nx, y, z)))
+		x = nx
+	}
+	for y != by {
+		ny := (y + ringStep(y, by, t.NY) + t.NY) % t.NY
+		buf = append(buf, t.reg.lookup(t.node(x, y, z), t.node(x, ny, z)))
+		y = ny
+	}
+	for z != bz {
+		nz := (z + ringStep(z, bz, t.NZ) + t.NZ) % t.NZ
+		buf = append(buf, t.reg.lookup(t.node(x, y, z), t.node(x, y, nz)))
+		z = nz
+	}
+	return buf
+}
+
+// ringStep returns +1 or -1: the direction of the shorter way around an
+// n-node ring from cur to dst, preferring +1 on ties.
+func ringStep(cur, dst, n int) int {
+	fwd := (dst - cur + n) % n
+	if 2*fwd <= n {
+		return 1
+	}
+	return -1
+}
