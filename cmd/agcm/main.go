@@ -33,40 +33,9 @@ func parseMesh(s string) (py, px int, err error) {
 	return py, px, nil
 }
 
-func parseFilter(s string) (core.FilterVariant, error) {
-	switch s {
-	case "conv", "convolution", "convolution-ring":
-		return core.FilterConvolutionRing, nil
-	case "conv-tree", "convolution-tree":
-		return core.FilterConvolutionTree, nil
-	case "fft":
-		return core.FilterFFT, nil
-	case "fft-lb", "fft-load-balanced":
-		return core.FilterFFTBalanced, nil
-	case "fft-rowwise":
-		return core.FilterFFTRowwise, nil
-	case "polar-diffusion", "polar-implicit-diffusion":
-		return core.FilterPolarDiffusion, nil
-	case "none":
-		return core.FilterNone, nil
-	}
-	return 0, fmt.Errorf(
-		"unknown filter %q (conv, conv-tree, fft, fft-lb, fft-rowwise, polar-diffusion, none)", s)
-}
-
-func parseScheme(s string) (physics.Scheme, error) {
-	switch s {
-	case "none":
-		return physics.None, nil
-	case "shuffle":
-		return physics.Shuffle, nil
-	case "greedy":
-		return physics.Greedy, nil
-	case "pairwise":
-		return physics.Pairwise, nil
-	}
-	return 0, fmt.Errorf("unknown physics scheme %q (none, shuffle, greedy, pairwise)", s)
-}
+// Filter and scheme names parse through the shared canonical-name tables
+// (core.FilterVariantByName, physics.SchemeByName) so the CLI, the serving
+// daemon and canonical configs accept exactly the same vocabulary.
 
 func main() {
 	machName := flag.String("machine", "paragon", "machine model: paragon, t3d or sp2")
@@ -102,11 +71,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fv, err := parseFilter(*filterStr)
+	fv, err := core.FilterVariantByName(*filterStr)
 	if err != nil {
 		fatal(err)
 	}
-	scheme, err := parseScheme(*schemeStr)
+	scheme, err := physics.SchemeByName(*schemeStr)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,80 @@
+// Command agcmd is the simulation-serving daemon: an HTTP front end over the
+// virtual AGCM (internal/server) with a bounded worker pool, a deterministic
+// result cache and Prometheus metrics.
+//
+//	agcmd -addr :8080 -workers 4 -queue 64 -cache 1024
+//
+// Endpoints:
+//
+//	POST /v1/run   {"config": {...canonical config...}, "steps": 2,
+//	                "priority": "high|normal|low", "timeout_ms": 5000}
+//	GET  /healthz  "ok" while serving, 503 while draining
+//	GET  /metrics  Prometheus text format
+//
+// On SIGTERM or SIGINT the daemon drains: it refuses new requests, finishes
+// every accepted job (bounded by -drain-timeout), then exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agcm/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 4, "simulations in flight at once")
+	queueCap := flag.Int("queue", 64, "admission queue capacity (beyond it requests are shed with 429)")
+	cacheEntries := flag.Int("cache", 1024, "result-cache capacity in entries")
+	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job execution budget")
+	maxSteps := flag.Int("max-steps", 0, "reject requests asking for more measured steps (0 = no limit)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for accepted jobs on shutdown")
+	flag.Parse()
+
+	s := server.New(server.Options{
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+		CacheEntries:  *cacheEntries,
+		JobTimeout:    *jobTimeout,
+		MaxSteps:      *maxSteps,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	log.Printf("agcmd: serving on %s (workers=%d queue=%d cache=%d job-timeout=%s)",
+		*addr, *workers, *queueCap, *cacheEntries, *jobTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case sig := <-sigCh:
+		log.Printf("agcmd: received %v, draining", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		drainErr := s.Drain(ctx)
+		// Shutdown after Drain: clients parked on in-flight jobs need the
+		// listener alive until their responses are written.
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("agcmd: http shutdown: %v", err)
+		}
+		if drainErr != nil {
+			log.Printf("agcmd: %v", drainErr)
+			os.Exit(1)
+		}
+		log.Printf("agcmd: drained cleanly")
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("agcmd: %v", err)
+		}
+	}
+}

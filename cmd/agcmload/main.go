@@ -1,0 +1,298 @@
+// Command agcmload is the load generator and correctness prober for agcmd.
+// It replays a seeded, reproducible request mix (configurable concurrency
+// and duplicate ratio) against a live daemon and verifies the serving
+// layer's core promise while measuring it:
+//
+//   - every 200 response for a given job key is byte-identical (the cache
+//     and single-flight layers may never change what a config returns),
+//   - the daemon's /metrics deltas reconcile exactly with the client-side
+//     tallies (hits, misses, coalesced, shed, and runs == misses).
+//
+// It emits a BENCH_5.json-style report (throughput, p50/p99 latency, cache
+// hit ratio) and exits nonzero on any inconsistency, so it doubles as the
+// CI smoke test.
+package main
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// poolConfig builds the i-th distinct request body. The pool cycles meshes
+// and filters and then varies init_wind, so it is unbounded and every index
+// maps to a distinct config (hence a distinct job key).
+func poolConfig(i, steps int) string {
+	meshes := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	filters := []string{
+		"fft", "fft-load-balanced", "convolution-ring",
+		"convolution-tree", "polar-implicit-diffusion", "none",
+	}
+	mesh := meshes[i%len(meshes)]
+	filter := filters[(i/len(meshes))%len(filters)]
+	wind := 20.0 + float64(i/(len(meshes)*len(filters)))
+	return fmt.Sprintf(`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon",`+
+		`"mesh_py":%d,"mesh_px":%d,"filter":%q,"init_wind":%s},"steps":%d}`,
+		mesh[0], mesh[1], filter, strconv.FormatFloat(wind, 'g', -1, 64), steps)
+}
+
+// buildSequence fixes the request mix up front: with probability dup a
+// request repeats an already-issued config, otherwise it draws the next
+// fresh one. Seeded, so the same flags reproduce the same mix.
+func buildSequence(n int, dup float64, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	seq := make([]int, n)
+	fresh := 0
+	for i := range seq {
+		if fresh > 0 && rng.Float64() < dup {
+			seq[i] = rng.Intn(fresh)
+		} else {
+			seq[i] = fresh
+			fresh++
+		}
+	}
+	rng.Shuffle(n, func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+	return seq
+}
+
+// tally is the client-side view of the run, reconciled against /metrics.
+type tally struct {
+	mu         sync.Mutex
+	byStatus   map[int]int
+	byCache    map[string]int // X-Agcmd-Cache header on 200s
+	bodyHash   map[string][32]byte
+	latencies  []float64 // seconds, 200s only
+	mismatches []string
+}
+
+func (t *tally) record(status int, cacheHeader string, key string, body []byte, elapsed time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byStatus[status]++
+	if status != http.StatusOK {
+		return
+	}
+	t.byCache[cacheHeader]++
+	t.latencies = append(t.latencies, elapsed.Seconds())
+	h := sha256.Sum256(body)
+	if prev, ok := t.bodyHash[key]; ok {
+		if prev != h {
+			t.mismatches = append(t.mismatches,
+				fmt.Sprintf("key %s: response bytes changed between requests", key))
+		}
+		return
+	}
+	t.bodyHash[key] = h
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// scrapeMetrics fetches /metrics and returns the agcmd counter samples.
+func scrapeMetrics(addr string) (map[string]float64, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "agcmd_") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad metrics line %q", line)
+		}
+		out[line[:i]] = v
+	}
+	return out, sc.Err()
+}
+
+// benchReport is the BENCH_5.json document.
+type benchReport struct {
+	Note          string         `json:"note"`
+	Requests      int            `json:"requests"`
+	Concurrency   int            `json:"concurrency"`
+	DupRatio      float64        `json:"dup_ratio"`
+	Steps         int            `json:"steps"`
+	Seed          int64          `json:"seed"`
+	DurationS     float64        `json:"duration_s"`
+	ThroughputRPS float64        `json:"throughput_rps"`
+	P50Ms         float64        `json:"p50_ms"`
+	P99Ms         float64        `json:"p99_ms"`
+	HitRatio      float64        `json:"hit_ratio"`
+	Dispositions  map[string]int `json:"dispositions"`
+	StatusCounts  map[string]int `json:"status_counts"`
+	DistinctKeys  int            `json:"distinct_keys"`
+	RunsDelta     float64        `json:"server_runs_delta"`
+	Reconciled    bool           `json:"metrics_reconciled"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "agcmd base URL")
+	requests := flag.Int("requests", 200, "number of requests to issue")
+	duration := flag.Duration("duration", 0, "optional wall-clock cutoff (0 = run the full request count)")
+	concurrency := flag.Int("concurrency", 8, "concurrent client connections")
+	dup := flag.Float64("dup", 0.5, "fraction of requests repeating an already-issued config")
+	steps := flag.Int("steps", 1, "measured steps per simulation request")
+	seed := flag.Int64("seed", 1, "mix seed (same seed, same request mix)")
+	out := flag.String("out", "BENCH_5.json", "report path ('-' for stdout)")
+	flag.Parse()
+
+	seq := buildSequence(*requests, *dup, *seed)
+	before, err := scrapeMetrics(*addr)
+	if err != nil {
+		log.Fatalf("agcmload: initial metrics scrape: %v", err)
+	}
+
+	t := &tally{
+		byStatus: make(map[int]int),
+		byCache:  make(map[string]int),
+		bodyHash: make(map[string][32]byte),
+	}
+	var next atomic.Int64
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seq) {
+					return
+				}
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				body := poolConfig(seq[i], *steps)
+				t0 := time.Now()
+				resp, err := http.Post(*addr+"/v1/run", "application/json", strings.NewReader(body))
+				if err != nil {
+					log.Fatalf("agcmload: request %d: %v", i, err)
+				}
+				raw, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					log.Fatalf("agcmload: reading response %d: %v", i, err)
+				}
+				elapsed := time.Since(t0)
+				key := ""
+				if resp.StatusCode == http.StatusOK {
+					var parsed struct {
+						Key string `json:"key"`
+					}
+					if err := json.Unmarshal(raw, &parsed); err != nil || parsed.Key == "" {
+						log.Fatalf("agcmload: response %d has no key: %v", i, err)
+					}
+					key = parsed.Key
+				}
+				t.record(resp.StatusCode, resp.Header.Get("X-Agcmd-Cache"), key, raw, elapsed)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeMetrics(*addr)
+	if err != nil {
+		log.Fatalf("agcmload: final metrics scrape: %v", err)
+	}
+	delta := func(name string) float64 { return after[name] - before[name] }
+
+	// Reconcile: the daemon's counters must agree exactly with what this
+	// client observed (it assumes it is the only client meanwhile).
+	failures := append([]string(nil), t.mismatches...)
+	reconcile := func(metric string, observed int) {
+		if got := delta(metric); got != float64(observed) {
+			failures = append(failures,
+				fmt.Sprintf("%s advanced by %g, client observed %d", metric, got, observed))
+		}
+	}
+	reconcile(`agcmd_requests_total{result="hit"}`, t.byCache["hit"])
+	reconcile(`agcmd_requests_total{result="miss"}`, t.byCache["miss"])
+	reconcile(`agcmd_requests_total{result="coalesced"}`, t.byCache["coalesced"])
+	reconcile(`agcmd_requests_total{result="shed"}`, t.byStatus[http.StatusTooManyRequests])
+	reconcile(`agcmd_runs_total`, t.byCache["miss"]) // every miss runs exactly once
+
+	sort.Float64s(t.latencies)
+	issued := 0
+	for _, n := range t.byStatus {
+		issued += n
+	}
+	okCount := t.byStatus[http.StatusOK]
+	hits := t.byCache["hit"] + t.byCache["coalesced"]
+	rep := benchReport{
+		Note: "agcmd serving benchmark: latency/throughput are host-dependent; " +
+			"dispositions and reconciliation are deterministic for a given mix and pool size",
+		Requests:      issued,
+		Concurrency:   *concurrency,
+		DupRatio:      *dup,
+		Steps:         *steps,
+		Seed:          *seed,
+		DurationS:     elapsed.Seconds(),
+		ThroughputRPS: float64(okCount) / elapsed.Seconds(),
+		P50Ms:         percentile(t.latencies, 0.50) * 1000,
+		P99Ms:         percentile(t.latencies, 0.99) * 1000,
+		HitRatio:      float64(hits) / float64(max(okCount, 1)),
+		Dispositions:  t.byCache,
+		StatusCounts:  statusKeys(t.byStatus),
+		DistinctKeys:  len(t.bodyHash),
+		RunsDelta:     delta("agcmd_runs_total"),
+		Reconciled:    len(failures) == 0,
+	}
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	raw = append(raw, '\n')
+	if *out == "-" {
+		os.Stdout.Write(raw)
+	} else if err := os.WriteFile(*out, raw, 0o644); err != nil {
+		log.Fatalf("agcmload: writing %s: %v", *out, err)
+	}
+
+	fmt.Fprintf(os.Stderr, "agcmload: %d requests in %.2fs (%.1f ok-rps), %d distinct keys, hit ratio %.2f\n",
+		issued, elapsed.Seconds(), rep.ThroughputRPS, rep.DistinctKeys, rep.HitRatio)
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "agcmload: INCONSISTENT: %s\n", f)
+		}
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "agcmload: all responses per-key byte-identical; metrics reconcile\n")
+}
+
+func statusKeys(m map[int]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[strconv.Itoa(k)] = v
+	}
+	return out
+}

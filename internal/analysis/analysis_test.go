@@ -16,6 +16,13 @@ func TestNondetermFixtures(t *testing.T) {
 	analysistest.Run(t, analysis.Nondeterm, "./testdata/src/nondeterm")
 }
 
+// TestServerScopeFixtures exercises the map-order-only level: the fixture
+// directory is named "server", so wall-clock reads pass while unsorted map
+// emission is still flagged.
+func TestServerScopeFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.Nondeterm, "./testdata/src/server")
+}
+
 func TestCommtagFixtures(t *testing.T) {
 	analysistest.Run(t, analysis.Commtag, "./testdata/src/commtag")
 }

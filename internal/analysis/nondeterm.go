@@ -18,6 +18,12 @@ import (
 // keys/values to a slice that is sorted later in the same function — the
 // canonical sorted-keys idiom.  Anything else order-insensitive must carry
 // //lint:allow nondeterm <reason>.
+//
+// Scope has two levels.  Simulation packages are held to the full rule set.
+// The serving layer (internal/server) measures real latencies and enforces
+// real deadlines, so the wall clock is legitimate there — but its response
+// bodies and /metrics text are replayed byte-for-byte, so it is still held
+// to the map-iteration-order rule.
 var Nondeterm = &Analyzer{
 	Name: "nondeterm",
 	Doc: `flag wall-clock time, unseeded randomness, and map iteration in simulation code
@@ -26,35 +32,67 @@ Wall-clock calls (time.Now, time.Since, ...), the global math/rand source,
 crypto/rand, and range-over-map iteration all vary between executions.
 Simulation packages must derive randomness from the per-run seed and
 iterate maps in sorted key order (or prove order-insensitivity with a
-//lint:allow nondeterm <reason> annotation).`,
+//lint:allow nondeterm <reason> annotation).  Serving-layer packages
+(internal/server) are checked for map-iteration order only: their emitted
+bytes must be deterministic, but wall-clock reads are part of their job.`,
 	Run: runNondeterm,
 }
 
-// nondetermScope lists the import-path segments (under internal/) whose
-// packages must be bit-deterministic.  Everything that contributes to a
-// simulated run or renders its results is included; cmd/ and examples/
+// determinismLevel is how much of the nondeterm rule set a package is held
+// to.
+type determinismLevel int
+
+const (
+	// levelExempt: not simulation code; nothing is checked.
+	levelExempt determinismLevel = iota
+	// levelMapOrder: only map-iteration order is checked.  For serving-layer
+	// code whose *emitted bytes* must be deterministic (cache bodies,
+	// /metrics scrapes) but which legitimately reads the wall clock for
+	// latency measurement and timeouts.
+	levelMapOrder
+	// levelFull: bit-determinism — wall clock, randomness and map order.
+	levelFull
+)
+
+// nondetermScope maps import-path segments (under internal/) to the
+// determinism level their packages are held to.  Everything that contributes
+// to a simulated run or renders its results is levelFull; cmd/ and examples/
 // wrappers may use wall-clock time for progress reporting and are exempt.
-var nondetermScope = map[string]bool{
-	"sim": true, "comm": true, "core": true, "dynamics": true,
-	"physics": true, "filter": true, "loadbalance": true, "grid": true,
-	"solver": true, "fft": true,
+var nondetermScope = map[string]determinismLevel{
+	"sim": levelFull, "comm": levelFull, "core": levelFull, "dynamics": levelFull,
+	"physics": levelFull, "filter": levelFull, "loadbalance": levelFull, "grid": levelFull,
+	"solver": levelFull, "fft": levelFull,
 	// Result-rendering and support packages: their output is part of the
 	// experiments' reproducibility contract.
-	"trace": true, "diag": true, "experiments": true, "stats": true,
-	"history": true, "fault": true, "machine": true, "cachesim": true,
-	"singlenode": true, "topology": true,
+	"trace": levelFull, "diag": levelFull, "experiments": levelFull, "stats": levelFull,
+	"history": levelFull, "fault": levelFull, "machine": levelFull, "cachesim": levelFull,
+	"singlenode": levelFull, "topology": levelFull,
+	// The serving daemon measures real latencies and enforces real
+	// deadlines, so the wall clock is legitimate there — but its response
+	// bodies and /metrics text are replayed byte-for-byte, so map emission
+	// order still must be deterministic.
+	"server": levelMapOrder,
 }
 
-// inNondetermScope reports whether the package with the given import path is
-// held to the determinism rules.  Fixture packages under a testdata tree are
-// always in scope so the analyzer can be exercised by analysistest.
-func inNondetermScope(path string) bool {
+// nondetermLevel returns the determinism level the package with the given
+// import path is held to.  Fixture packages under a testdata tree resolve
+// their level by the base directory name (so a fixture named "server"
+// exercises the map-order-only level); unknown fixture names stay levelFull,
+// keeping pre-existing fixtures fully checked.
+func nondetermLevel(path string) determinismLevel {
 	if strings.Contains(path, "/testdata/") {
-		return true
+		base := path
+		if j := strings.LastIndexByte(base, '/'); j >= 0 {
+			base = base[j+1:]
+		}
+		if lvl, ok := nondetermScope[base]; ok {
+			return lvl
+		}
+		return levelFull
 	}
 	i := strings.LastIndex(path, "internal/")
 	if i < 0 {
-		return false
+		return levelExempt
 	}
 	rest := path[i+len("internal/"):]
 	if j := strings.IndexByte(rest, '/'); j >= 0 {
@@ -80,44 +118,53 @@ var seededRandConstructors = map[string]bool{
 }
 
 func runNondeterm(pass *Pass) error {
-	if !inNondetermScope(pass.Pkg.Path()) {
+	lvl := nondetermLevel(pass.Pkg.Path())
+	if lvl == levelExempt {
 		return nil
 	}
 	for _, file := range pass.Files {
-		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			pkgPath, ok := packageQualifier(pass.TypesInfo, sel)
-			if !ok {
-				return true
-			}
-			name := sel.Sel.Name
-			switch pkgPath {
-			case "time":
-				if wallClockFuncs[name] {
-					pass.Reportf(sel.Pos(),
-						"time.%s observes the wall clock: simulated runs must be bit-deterministic; use virtual time (sim.Proc.Clock)", name)
-				}
-			case "math/rand", "math/rand/v2":
-				if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
-					if _, isFunc := obj.(*types.Func); isFunc && !seededRandConstructors[name] {
-						pass.Reportf(sel.Pos(),
-							"%s.%s uses the global random source: randomness must flow from the seeded per-run source (rand.New(rand.NewSource(seed)))", pkgPath, name)
-					}
-				}
-			case "crypto/rand":
-				pass.Reportf(sel.Pos(),
-					"crypto/rand is inherently nondeterministic: randomness must flow from the seeded per-run source")
-			}
-			return true
-		})
+		if lvl == levelFull {
+			checkWallClockAndRand(pass, file)
+		}
 		funcBodies(file, func(body *ast.BlockStmt) {
 			checkMapRanges(pass, body)
 		})
 	}
 	return nil
+}
+
+// checkWallClockAndRand flags wall-clock reads and unseeded randomness in
+// one file (the levelFull-only rules).
+func checkWallClockAndRand(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, ok := packageQualifier(pass.TypesInfo, sel)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		switch pkgPath {
+		case "time":
+			if wallClockFuncs[name] {
+				pass.Reportf(sel.Pos(),
+					"time.%s observes the wall clock: simulated runs must be bit-deterministic; use virtual time (sim.Proc.Clock)", name)
+			}
+		case "math/rand", "math/rand/v2":
+			if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil {
+				if _, isFunc := obj.(*types.Func); isFunc && !seededRandConstructors[name] {
+					pass.Reportf(sel.Pos(),
+						"%s.%s uses the global random source: randomness must flow from the seeded per-run source (rand.New(rand.NewSource(seed)))", pkgPath, name)
+				}
+			}
+		case "crypto/rand":
+			pass.Reportf(sel.Pos(),
+				"crypto/rand is inherently nondeterministic: randomness must flow from the seeded per-run source")
+		}
+		return true
+	})
 }
 
 // packageQualifier resolves sel's X to an imported package, returning its

@@ -1,0 +1,54 @@
+// Package server is the analysistest fixture for the nondeterm analyzer's
+// map-order-only level: the directory name resolves to the serving-layer
+// scope, where wall-clock reads are legitimate but map emission order is
+// still checked.
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MeasureLatency exercises the wall-clock exemption: the serving layer
+// times real requests, so none of these are flagged.
+func MeasureLatency() float64 {
+	start := time.Now() // wall clock is legitimate at this level: not flagged
+	time.Sleep(time.Millisecond)
+	return time.Since(start).Seconds()
+}
+
+// EmitCounters exercises the map-order rule, which still applies: these
+// bytes would reach a /metrics scrape.
+func EmitCounters(counters map[string]uint64) string {
+	var b strings.Builder
+	for k, v := range counters { // want `range over map counters: iteration order is nondeterministic`
+		fmt.Fprintf(&b, "%s %d\n", k, v)
+	}
+	return b.String()
+}
+
+// EmitSorted is the approved emission idiom: collect, sort, then render.
+func EmitSorted(counters map[string]uint64) string {
+	var keys []string
+	for k := range counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, counters[k])
+	}
+	return b.String()
+}
+
+// CountOnly ranges without binding variables; order is unobservable and not
+// flagged at any level.
+func CountOnly(counters map[string]uint64) int {
+	n := 0
+	for range counters {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"agcm/internal/sim"
+)
+
+// fingerprint serializes everything a Report derives from the virtual
+// machine.  Floats go through encoding/json's shortest-round-trip formatting,
+// which maps distinct float64 bit patterns to distinct strings, so equal
+// fingerprints mean bit-identical results.
+func fingerprint(t *testing.T, rep *Report) string {
+	t.Helper()
+	raw, err := json.Marshal(struct {
+		Filter, FD, Comm, Dyn, Phys, Total float64
+		Msgs, Bytes, Wait, MaxAbsH         float64
+		PhysicsLoads, FilterLoads          []float64
+		Clocks                             []float64
+		Accounts                           map[string][]float64
+		MessagesSent, BytesSent            []int64
+	}{
+		rep.FilterTime, rep.FDTime, rep.CommTime, rep.Dynamics, rep.PhysicsTime, rep.Total,
+		rep.MessagesPerStep, rep.BytesPerStep, rep.MaxWaitShare, rep.MaxAbsH,
+		rep.PhysicsLoads, rep.FilterLoads,
+		rep.Raw.Clocks, rep.Raw.Accounts, rep.Raw.MessagesSent, rep.Raw.BytesSent,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// TestConcurrentRunsBitIdentical is the concurrency audit behind the agcmd
+// worker pool: many core.Run virtual machines in one process — the same
+// config twice, plus different configs stressing shared state such as the
+// fft per-size plan registry and the pooled sim transports — must each
+// produce exactly the report their config produces when run alone.  Run
+// under -race (CI does) this also proves the sharing is synchronized.
+func TestConcurrentRunsBitIdentical(t *testing.T) {
+	configs := []Config{
+		testConfig(2, 2, FilterFFTBalanced),
+		testConfig(1, 2, FilterFFT),
+		testConfig(2, 1, FilterConvolutionRing),
+		testConfig(1, 1, FilterPolarDiffusion),
+	}
+	const steps = 2
+
+	want := make([]string, len(configs))
+	for i, cfg := range configs {
+		rep, err := Run(cfg, steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = fingerprint(t, rep)
+	}
+
+	// Two concurrent machines per config, all in flight at once.
+	const dup = 2
+	got := make([]string, len(configs)*dup)
+	errs := make([]error, len(configs)*dup)
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rep, err := Run(configs[i%len(configs)], steps)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got[i] = fingerprint(t, rep)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent run %d: %v", i, err)
+		}
+	}
+	for i, g := range got {
+		if w := want[i%len(configs)]; g != w {
+			t.Errorf("concurrent run %d diverged from its solo run:\n got  %s\n want %s", i, g, w)
+		}
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, testConfig(1, 2, FilterFFT), 1)
+	var ce *sim.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *sim.CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	// A run far too long for the 1ms budget: the deadline must cut it
+	// short with the typed error rather than let it complete.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, testConfig(2, 2, FilterFFTBalanced), 100000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	var ce *sim.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *sim.CanceledError", err)
+	}
+}

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -281,6 +282,16 @@ var categories = []string{"filter", "dynamics-fd", "dynamics-comm", "physics"}
 // the simulated machine and returns per-component timings extrapolated to
 // seconds per simulated day.
 func Run(cfg Config, measuredSteps int) (*Report, error) {
+	return RunContext(context.Background(), cfg, measuredSteps)
+}
+
+// RunContext is Run under a deadline: when ctx is cancelled or expires the
+// virtual machine shuts down at the ranks' next communication points and
+// RunContext returns a *sim.CanceledError (errors.Is-able against
+// context.Canceled / context.DeadlineExceeded).  As with an injected crash,
+// the partial Report still carries any checkpoints that completed before the
+// cancellation, so a timed-out run can be resumed rather than redone.
+func RunContext(ctx context.Context, cfg Config, measuredSteps int) (*Report, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -347,7 +358,7 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 	// Only rank 0's goroutine appends; the main goroutine reads after the
 	// machine's WaitGroup establishes the happens-before edge.
 	var checkpoints []*history.File
-	res, err := m.Run(func(p *sim.Proc) error {
+	res, err := m.RunContext(ctx, func(p *sim.Proc) error {
 		world := comm.World(p)
 		cart := comm.NewCart2D(world, cfg.MeshPy, cfg.MeshPx)
 		local := grid.NewLocal(d, cart.MyRow, cart.MyCol)
@@ -447,8 +458,11 @@ func Run(cfg Config, measuredSteps int) (*Report, error) {
 	scale := float64(stepsPerDay) / float64(measuredSteps)
 	perRank := func(cat string) []float64 {
 		out := make([]float64, ranks)
-		for r := 0; r < ranks; r++ {
-			out[r] = (res.Accounts[cat][r] - warm[r].accounts[cat]) * scale
+		// A category nothing timed (e.g. "filter" under FilterNone) has no
+		// accounts entry; its per-rank load is zero, not a panic.
+		acct := res.Accounts[cat]
+		for r := 0; r < ranks && r < len(acct); r++ {
+			out[r] = (acct[r] - warm[r].accounts[cat]) * scale
 		}
 		return out
 	}

@@ -38,6 +38,17 @@ func (s Scheme) String() string {
 	return fmt.Sprintf("Scheme(%d)", int(s))
 }
 
+// SchemeByName returns the scheme whose String() form matches name.  Every
+// scheme round-trips: SchemeByName(s.String()) == s.
+func SchemeByName(name string) (Scheme, error) {
+	for _, s := range []Scheme{None, Shuffle, Greedy, Pairwise} {
+		if name == s.String() {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("physics: unknown scheme %q (none, shuffle, greedy, pairwise)", name)
+}
+
 // User tags for the balancing traffic.
 const (
 	tagColumns = 31 + iota // shipped column inputs (one tag per round added)

@@ -1,0 +1,97 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheGetPut(t *testing.T) {
+	c := newCache(64)
+	if _, ok := c.Get("absent"); ok {
+		t.Fatal("empty cache claims a hit")
+	}
+	c.Put("k", []byte("v1"))
+	if b, ok := c.Get("k"); !ok || !bytes.Equal(b, []byte("v1")) {
+		t.Fatalf("Get = %q, %v", b, ok)
+	}
+	// Overwrite keeps a single entry.
+	c.Put("k", []byte("v2"))
+	if b, _ := c.Get("k"); !bytes.Equal(b, []byte("v2")) {
+		t.Fatalf("after overwrite Get = %q", b)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+// shardKeys returns n distinct keys that all land on the same shard, so LRU
+// behavior can be tested deterministically.
+func shardKeys(c *cache, n int) []string {
+	target := c.shardFor("anchor")
+	var keys []string
+	for i := 0; len(keys) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shardFor(k) == target {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Capacity 16 across 16 shards = 1 entry per shard... use a larger
+	// cache so each shard holds 2 and eviction order is observable.
+	c := newCache(32)
+	keys := shardKeys(c, 3)
+	c.Put(keys[0], []byte("0"))
+	c.Put(keys[1], []byte("1"))
+	// Touch keys[0] so keys[1] is the LRU entry.
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("warm entry missing")
+	}
+	c.Put(keys[2], []byte("2")) // shard is full: must evict keys[1]
+	if _, ok := c.Get(keys[1]); ok {
+		t.Error("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Error("recently used entry was evicted")
+	}
+	if _, ok := c.Get(keys[2]); !ok {
+		t.Error("new entry missing")
+	}
+	if ev := c.Evictions(); ev != 1 {
+		t.Errorf("Evictions = %d, want 1", ev)
+	}
+}
+
+func TestCacheMinimumShardCapacity(t *testing.T) {
+	// A capacity below the shard count still holds at least one entry per
+	// shard rather than zero.
+	c := newCache(1)
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("tiny cache cannot hold a single entry")
+	}
+}
+
+func TestCacheShardingSpreads(t *testing.T) {
+	// Generous per-shard capacity: the test is about spread, not eviction,
+	// and FNV does not slice 256 keys perfectly evenly.
+	c := newCache(64 * cacheShards)
+	for i := 0; i < 256; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), []byte("x"))
+	}
+	if c.Len() != 256 {
+		t.Fatalf("Len = %d, want 256 (unexpected evictions)", c.Len())
+	}
+	used := 0
+	for i := range c.shards {
+		if c.shards[i].order.Len() > 0 {
+			used++
+		}
+	}
+	if used < cacheShards/2 {
+		t.Errorf("only %d/%d shards used by 256 keys — bad key spread", used, cacheShards)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// jobBuckets are the latency histogram's upper bounds in seconds.  Fixed at
+// compile time so the /metrics emission order never depends on runtime
+// state.
+var jobBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
+
+// metrics holds the daemon's counters and the job-latency histogram.  One
+// mutex guards everything: increments are nanoseconds against simulation
+// runs that take milliseconds to minutes, and a single lock makes every
+// /metrics scrape an internally consistent snapshot.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[string]uint64 // by result label: hit, miss, coalesced, shed, ...
+	runs     uint64            // simulations actually executed
+	runErrs  uint64            // runs that returned an error (timeouts included)
+	buckets  []uint64          // one count per jobBuckets bound, cumulative on emit
+	overflow uint64            // beyond the last bound (the +Inf bucket's share)
+	sum      float64
+	count    uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]uint64),
+		buckets:  make([]uint64, len(jobBuckets)),
+	}
+}
+
+// IncRequest counts one request with the given outcome label.
+func (m *metrics) IncRequest(result string) {
+	m.mu.Lock()
+	m.requests[result]++
+	m.mu.Unlock()
+}
+
+// Request returns the count for one outcome label (test and reconcile hook).
+func (m *metrics) Request(result string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests[result]
+}
+
+// IncRun counts one executed simulation; failed reports whether it errored.
+func (m *metrics) IncRun(failed bool) {
+	m.mu.Lock()
+	m.runs++
+	if failed {
+		m.runErrs++
+	}
+	m.mu.Unlock()
+}
+
+// ObserveJob records one job's execution latency in seconds.
+func (m *metrics) ObserveJob(seconds float64) {
+	m.mu.Lock()
+	placed := false
+	for i, b := range jobBuckets {
+		if seconds <= b {
+			m.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		m.overflow++
+	}
+	m.sum += seconds
+	m.count++
+	m.mu.Unlock()
+}
+
+// gauges is the point-in-time state the server contributes to a scrape.
+type gauges struct {
+	QueueDepth   int
+	Inflight     int
+	CacheEntries int
+	CacheEvicted uint64
+	Draining     bool
+}
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteText renders the Prometheus text exposition.  Families appear in a
+// fixed order and the label values of each family are emitted sorted, so
+// two scrapes of identical state are byte-identical.
+func (m *metrics) WriteText(w io.Writer, g gauges) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP agcmd_requests_total Simulation requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_requests_total counter\n")
+	labels := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		labels = append(labels, k)
+	}
+	sort.Strings(labels)
+	for _, k := range labels {
+		fmt.Fprintf(w, "agcmd_requests_total{result=%q} %d\n", k, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP agcmd_runs_total Simulations executed (cache misses that reached a worker).\n")
+	fmt.Fprintf(w, "# TYPE agcmd_runs_total counter\n")
+	fmt.Fprintf(w, "agcmd_runs_total %d\n", m.runs)
+	fmt.Fprintf(w, "# HELP agcmd_run_errors_total Executed simulations that returned an error.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_run_errors_total counter\n")
+	fmt.Fprintf(w, "agcmd_run_errors_total %d\n", m.runErrs)
+
+	fmt.Fprintf(w, "# HELP agcmd_queue_depth Jobs admitted but not yet running.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_queue_depth gauge\n")
+	fmt.Fprintf(w, "agcmd_queue_depth %d\n", g.QueueDepth)
+	fmt.Fprintf(w, "# HELP agcmd_inflight_jobs Jobs currently executing on workers.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_inflight_jobs gauge\n")
+	fmt.Fprintf(w, "agcmd_inflight_jobs %d\n", g.Inflight)
+	fmt.Fprintf(w, "# HELP agcmd_cache_entries Result-cache entries resident.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_cache_entries gauge\n")
+	fmt.Fprintf(w, "agcmd_cache_entries %d\n", g.CacheEntries)
+	fmt.Fprintf(w, "# HELP agcmd_cache_evictions_total Result-cache LRU evictions.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_cache_evictions_total counter\n")
+	fmt.Fprintf(w, "agcmd_cache_evictions_total %d\n", g.CacheEvicted)
+	drain := 0
+	if g.Draining {
+		drain = 1
+	}
+	fmt.Fprintf(w, "# HELP agcmd_draining Whether the daemon is draining (1) or serving (0).\n")
+	fmt.Fprintf(w, "# TYPE agcmd_draining gauge\n")
+	fmt.Fprintf(w, "agcmd_draining %d\n", drain)
+
+	fmt.Fprintf(w, "# HELP agcmd_job_seconds Simulation execution latency.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_job_seconds histogram\n")
+	cum := uint64(0)
+	for i, b := range jobBuckets {
+		cum += m.buckets[i]
+		fmt.Fprintf(w, "agcmd_job_seconds_bucket{le=%q} %d\n", fmtFloat(b), cum)
+	}
+	fmt.Fprintf(w, "agcmd_job_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
+	fmt.Fprintf(w, "agcmd_job_seconds_sum %s\n", fmtFloat(m.sum))
+	fmt.Fprintf(w, "agcmd_job_seconds_count %d\n", m.count)
+}
+
+// AvgJobSeconds returns the mean observed job latency (0 before any job):
+// the admission layer's input for the Retry-After estimate.
+func (m *metrics) AvgJobSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.count == 0 {
+		return 0
+	}
+	return m.sum / float64(m.count)
+}

@@ -1,0 +1,152 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"agcm/internal/core"
+)
+
+// Priority is a request's admission class.  Within a class the queue is
+// FIFO; across classes higher priority always pops first.  Priority affects
+// only scheduling order, never results — the same config produces the same
+// bytes at any priority.
+type Priority int
+
+const (
+	// High jumps the normal traffic: interactive sweeps, operator probes.
+	High Priority = iota
+	// Normal is the default class.
+	Normal
+	// Low is for bulk campaign traffic that should yield to everyone else.
+	Low
+	numPriorities
+)
+
+// String returns the class name used in requests and metrics.
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Normal:
+		return "normal"
+	case Low:
+		return "low"
+	}
+	return "invalid"
+}
+
+// PriorityByName parses a request's priority field; the empty string is
+// Normal.
+func PriorityByName(name string) (Priority, bool) {
+	switch name {
+	case "":
+		return Normal, true
+	case "high":
+		return High, true
+	case "normal":
+		return Normal, true
+	case "low":
+		return Low, true
+	}
+	return 0, false
+}
+
+// Job is one admitted simulation request on its way through the worker pool.
+type Job struct {
+	// Key is the result-cache address: ConfigKey plus the step count.
+	Key string
+	// Config is the decoded, validated simulation config and Canonical its
+	// canonical encoding (echoed in the response body).
+	Config    core.Config
+	Canonical []byte
+	// Steps is the number of measured steps to integrate.
+	Steps int
+	// Timeout bounds the run's execution once a worker picks it up; the
+	// worker threads it into core.RunContext as a context deadline.
+	Timeout time.Duration
+	// Priority is the admission class the job was queued under.
+	Priority Priority
+
+	flight *flight
+}
+
+// queue is the bounded FIFO+priority admission queue in front of the worker
+// pool.  Push never blocks: when the queue is full the request is shed at
+// the door (the HTTP layer turns that into 429 + Retry-After), which keeps
+// queueing delay bounded instead of letting latency grow without limit.
+type queue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	cap     int
+	classes [numPriorities][]*Job
+	heads   [numPriorities]int
+	depth   int
+	closed  bool
+}
+
+func newQueue(capacity int) *queue {
+	q := &queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push admits a job, or reports false when the queue is full or closed.
+func (q *queue) Push(j *Job) bool {
+	q.mu.Lock()
+	if q.closed || q.depth >= q.cap {
+		q.mu.Unlock()
+		return false
+	}
+	q.classes[j.Priority] = append(q.classes[j.Priority], j)
+	q.depth++
+	q.mu.Unlock()
+	q.cond.Signal()
+	return true
+}
+
+// Pop blocks for the next job — highest class first, FIFO within a class —
+// and reports false once the queue is closed and drained.
+func (q *queue) Pop() (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		for c := 0; c < int(numPriorities); c++ {
+			if q.heads[c] < len(q.classes[c]) {
+				j := q.classes[c][q.heads[c]]
+				q.classes[c][q.heads[c]] = nil
+				q.heads[c]++
+				if q.heads[c] == len(q.classes[c]) {
+					q.classes[c] = q.classes[c][:0]
+					q.heads[c] = 0
+				}
+				q.depth--
+				return j, true
+			}
+		}
+		if q.closed {
+			return nil, false
+		}
+		q.cond.Wait()
+	}
+}
+
+// Close stops admission; Pop keeps draining what was already accepted.
+func (q *queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Depth returns the number of queued (not yet running) jobs.
+func (q *queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// Runner executes one simulation; the production runner is core.RunContext,
+// tests substitute counters and blockers.
+type Runner func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error)

@@ -1,0 +1,112 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+)
+
+func namedJob(name string, p Priority) *Job {
+	return &Job{Key: name, Priority: p}
+}
+
+func TestQueuePriorityOrder(t *testing.T) {
+	q := newQueue(16)
+	for i, p := range []Priority{Low, Normal, High, Normal, High, Low} {
+		if !q.Push(namedJob(fmt.Sprintf("%s-%d", p, i), p)) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	q.Close()
+	want := []string{"high-2", "high-4", "normal-1", "normal-3", "low-0", "low-5"}
+	for i, w := range want {
+		j, ok := q.Pop()
+		if !ok {
+			t.Fatalf("pop %d: queue ended early", i)
+		}
+		if j.Key != w {
+			t.Errorf("pop %d = %s, want %s", i, j.Key, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("pop after drain should report closed")
+	}
+}
+
+func TestQueueShedsWhenFull(t *testing.T) {
+	q := newQueue(2)
+	if !q.Push(namedJob("a", Normal)) || !q.Push(namedJob("b", High)) {
+		t.Fatal("pushes within capacity failed")
+	}
+	// Capacity is shared across classes: even High is shed once full.
+	if q.Push(namedJob("c", High)) {
+		t.Error("push beyond capacity succeeded")
+	}
+	if d := q.Depth(); d != 2 {
+		t.Errorf("depth = %d, want 2", d)
+	}
+	if j, ok := q.Pop(); !ok || j.Key != "b" {
+		t.Errorf("pop = %v, want b", j)
+	}
+	// A slot freed: admission works again.
+	if !q.Push(namedJob("d", Low)) {
+		t.Error("push after pop failed")
+	}
+}
+
+func TestQueueCloseStopsAdmissionKeepsDraining(t *testing.T) {
+	q := newQueue(4)
+	q.Push(namedJob("a", Normal))
+	q.Close()
+	if q.Push(namedJob("b", Normal)) {
+		t.Error("push after close succeeded")
+	}
+	if j, ok := q.Pop(); !ok || j.Key != "a" {
+		t.Errorf("pop after close = %v, want the already-accepted job", j)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Error("empty closed queue still popping")
+	}
+}
+
+func TestQueuePopBlocksUntilPush(t *testing.T) {
+	q := newQueue(4)
+	got := make(chan string, 1)
+	go func() {
+		j, ok := q.Pop()
+		if !ok {
+			got <- "<closed>"
+			return
+		}
+		got <- j.Key
+	}()
+	q.Push(namedJob("wake", Normal))
+	if k := <-got; k != "wake" {
+		t.Fatalf("pop woke with %q", k)
+	}
+}
+
+func TestPriorityByName(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Priority
+		ok   bool
+	}{
+		{"", Normal, true},
+		{"high", High, true},
+		{"normal", Normal, true},
+		{"low", Low, true},
+		{"urgent", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := PriorityByName(c.in)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("PriorityByName(%q) = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	for _, p := range []Priority{High, Normal, Low} {
+		back, ok := PriorityByName(p.String())
+		if !ok || back != p {
+			t.Errorf("%v does not round-trip through its name", p)
+		}
+	}
+}

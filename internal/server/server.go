@@ -1,0 +1,459 @@
+// Package server implements agcmd, the concurrent simulation-serving layer
+// over the virtual AGCM: an HTTP daemon that accepts canonical simulation
+// configs, runs them on a bounded worker pool, and exploits the virtual
+// machine's bit-determinism (identical core.Config ⇒ byte-identical Report)
+// with a content-addressed result cache.
+//
+// The request path is: canonicalize the config (core.Config.CanonicalJSON)
+// → derive the cache key → serve from the sharded LRU cache on a hit →
+// otherwise coalesce onto an identical in-flight run (single-flight) →
+// otherwise admit into a bounded FIFO+priority queue, shedding with 429 +
+// Retry-After when full.  Workers execute runs under per-job deadlines via
+// core.RunContext.  Identical configs therefore cost one simulation no
+// matter how many clients ask, and every response for a key is byte-
+// identical — the cached bytes are the worker's bytes.
+//
+// Observability: /metrics (Prometheus text format), /healthz, and graceful
+// drain — Drain stops admission, finishes accepted work, then returns.
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agcm/internal/core"
+	"agcm/internal/sim"
+)
+
+// Options configures a Server.  The zero value takes the documented
+// defaults.
+type Options struct {
+	// Workers is the worker-pool size: the number of simulations in
+	// flight at once (default 4).  Each job is itself a multi-goroutine
+	// virtual machine, so a worker is a simulation slot, not an OS thread.
+	Workers int
+	// QueueCapacity bounds the admission queue across all priority
+	// classes (default 64); beyond it requests are shed with 429.
+	QueueCapacity int
+	// CacheEntries bounds the result cache (default 1024 entries).
+	CacheEntries int
+	// JobTimeout is the default per-job execution budget (default 60s).
+	// A request's timeout_ms may lower it but never raise it.
+	JobTimeout time.Duration
+	// MaxSteps rejects requests asking for more measured steps (0 = no
+	// limit): a guard against a single request monopolizing a worker.
+	MaxSteps int
+	// Runner executes simulations; nil means core.RunContext.  Tests
+	// substitute blockers and counters.
+	Runner Runner
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueCapacity <= 0 {
+		o.QueueCapacity = 64
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.JobTimeout <= 0 {
+		o.JobTimeout = 60 * time.Second
+	}
+	if o.Runner == nil {
+		o.Runner = func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
+			return core.RunContext(ctx, cfg, steps)
+		}
+	}
+	return o
+}
+
+// flight is one in-flight simulation that concurrent identical requests
+// wait on.  body and status are written exactly once, before done closes.
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+}
+
+// Server is the simulation-serving daemon's HTTP-independent core plus its
+// http.Handler face.
+type Server struct {
+	opt     Options
+	queue   *queue
+	cache   *cache
+	metrics *metrics
+
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	inflight atomic.Int64
+	runs     atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.  Call Drain to stop.
+func New(opt Options) *Server {
+	opt = opt.withDefaults()
+	s := &Server{
+		opt:     opt,
+		queue:   newQueue(opt.QueueCapacity),
+		cache:   newCache(opt.CacheEntries),
+		metrics: newMetrics(),
+		flights: make(map[string]*flight),
+	}
+	s.wg.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Runs returns how many simulations have actually executed — the
+// single-flight and cache tests' run counter.
+func (s *Server) Runs() int64 { return s.runs.Load() }
+
+// Handler returns the daemon's HTTP mux: POST /v1/run, GET /healthz,
+// GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+// Drain performs the graceful-shutdown sequence: refuse new requests,
+// finish every accepted job (queued and running), then return.  It gives
+// up when ctx expires.  Drain is what the daemon runs on SIGTERM.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// request is the POST /v1/run body.  Unknown fields are rejected at both
+// levels: here and inside the canonical config.
+type request struct {
+	// Config is a canonical config object (see core.ConfigFromCanonicalJSON).
+	Config json.RawMessage `json:"config"`
+	// Steps is the number of measured steps (default 1).
+	Steps int `json:"steps"`
+	// Priority is the admission class: "high", "normal" (default), "low".
+	Priority string `json:"priority"`
+	// TimeoutMS lowers the server's per-job execution budget.
+	TimeoutMS int `json:"timeout_ms"`
+}
+
+// errorBody is the JSON error envelope.
+func errorBody(msg string) []byte {
+	raw, _ := json.Marshal(struct {
+		Error string `json:"error"`
+	}{msg})
+	return append(raw, '\n')
+}
+
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// reportJSON is the deterministic wire form of a core.Report.  Fields are
+// a fixed set in a fixed order; floats round-trip bit-exactly through
+// encoding/json's shortest formatting, so byte-equal bodies mean bit-equal
+// reports and vice versa.
+type reportJSON struct {
+	Ranks            int       `json:"ranks"`
+	Steps            int       `json:"steps"`
+	StepsPerDay      int       `json:"steps_per_day"`
+	FilterTime       float64   `json:"filter_s_day"`
+	FDTime           float64   `json:"fd_s_day"`
+	CommTime         float64   `json:"comm_s_day"`
+	Dynamics         float64   `json:"dynamics_s_day"`
+	PhysicsTime      float64   `json:"physics_s_day"`
+	Total            float64   `json:"total_s_day"`
+	PhysicsLoads     []float64 `json:"physics_loads"`
+	FilterLoads      []float64 `json:"filter_loads"`
+	PhysicsImbalance float64   `json:"physics_imbalance"`
+	FilterImbalance  float64   `json:"filter_imbalance"`
+	MessagesPerStep  float64   `json:"messages_per_step"`
+	BytesPerStep     float64   `json:"bytes_per_step"`
+	MaxWaitShare     float64   `json:"max_wait_share"`
+	MaxAbsH          float64   `json:"max_abs_h"`
+}
+
+// responseBody renders the byte-exact 200 body for a finished run.  These
+// bytes are what the cache stores and what every hit replays.
+func responseBody(key string, canonical []byte, steps int, rep *core.Report) []byte {
+	raw, _ := json.Marshal(struct {
+		Key    string          `json:"key"`
+		Steps  int             `json:"steps"`
+		Config json.RawMessage `json:"config"`
+		Report reportJSON      `json:"report"`
+	}{
+		Key:    key,
+		Steps:  steps,
+		Config: canonical,
+		Report: reportJSON{
+			Ranks:            rep.Ranks,
+			Steps:            rep.Steps,
+			StepsPerDay:      rep.StepsPerDay,
+			FilterTime:       rep.FilterTime,
+			FDTime:           rep.FDTime,
+			CommTime:         rep.CommTime,
+			Dynamics:         rep.Dynamics,
+			PhysicsTime:      rep.PhysicsTime,
+			Total:            rep.Total,
+			PhysicsLoads:     rep.PhysicsLoads,
+			FilterLoads:      rep.FilterLoads,
+			PhysicsImbalance: core.Imbalance(rep.PhysicsLoads),
+			FilterImbalance:  core.Imbalance(rep.FilterLoads),
+			MessagesPerStep:  rep.MessagesPerStep,
+			BytesPerStep:     rep.BytesPerStep,
+			MaxWaitShare:     rep.MaxWaitShare,
+			MaxAbsH:          rep.MaxAbsH,
+		},
+	})
+	return append(raw, '\n')
+}
+
+// JobKeyFor derives the cache key for a config and step count: the config's
+// content address extended with the one run parameter outside the config.
+func JobKeyFor(cfg core.Config, steps int) (string, error) {
+	ck, err := cfg.ConfigKey()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(ck + ":" + strconv.Itoa(steps)))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody("POST only"))
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.IncRequest("draining")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody("draining"))
+		return
+	}
+	dec := json.NewDecoder(io.LimitReader(r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	var req request
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody("bad request: "+err.Error()))
+		return
+	}
+	if len(req.Config) == 0 {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody("missing config"))
+		return
+	}
+	cfg, err := core.ConfigFromCanonicalJSON(req.Config)
+	if err != nil {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(err.Error()))
+		return
+	}
+	steps := req.Steps
+	if steps == 0 {
+		steps = 1
+	}
+	if steps < 0 || (s.opt.MaxSteps > 0 && steps > s.opt.MaxSteps) {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Sprintf("steps %d out of range", steps)))
+		return
+	}
+	prio, ok := PriorityByName(req.Priority)
+	if !ok {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Sprintf("unknown priority %q", req.Priority)))
+		return
+	}
+	// Canonicalize once: validates the config, yields the echoed form and
+	// the cache address.
+	canonical, err := cfg.CanonicalJSON()
+	if err != nil {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(err.Error()))
+		return
+	}
+	key, err := JobKeyFor(cfg, steps)
+	if err != nil {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(err.Error()))
+		return
+	}
+	timeout := s.opt.JobTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+
+	// Cache, single-flight and admission decide under one lock, so an
+	// identical concurrent request can never slip between the cache miss
+	// and the flight registration and start a duplicate run.
+	s.flightMu.Lock()
+	if body, ok := s.cache.Get(key); ok {
+		s.flightMu.Unlock()
+		s.metrics.IncRequest("hit")
+		w.Header().Set("X-Agcmd-Cache", "hit")
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	if f := s.flights[key]; f != nil {
+		s.flightMu.Unlock()
+		s.metrics.IncRequest("coalesced")
+		s.await(w, r, f, "coalesced")
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	job := &Job{
+		Key:       key,
+		Config:    cfg,
+		Canonical: canonical,
+		Steps:     steps,
+		Timeout:   timeout,
+		Priority:  prio,
+		flight:    f,
+	}
+	if !s.queue.Push(job) {
+		s.flightMu.Unlock()
+		if s.draining.Load() {
+			s.metrics.IncRequest("draining")
+			writeJSON(w, http.StatusServiceUnavailable, errorBody("draining"))
+			return
+		}
+		s.metrics.IncRequest("shed")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests, errorBody("queue full"))
+		return
+	}
+	s.flights[key] = f
+	s.flightMu.Unlock()
+	s.metrics.IncRequest("miss")
+	s.await(w, r, f, "miss")
+}
+
+// await parks the request on its flight and writes the finished result.
+// If the client disconnects first the job still completes (and caches) for
+// whoever asks next.
+func (s *Server) await(w http.ResponseWriter, r *http.Request, f *flight, disposition string) {
+	select {
+	case <-f.done:
+		w.Header().Set("X-Agcmd-Cache", disposition)
+		writeJSON(w, f.status, f.body)
+	case <-r.Context().Done():
+	}
+}
+
+// retryAfterSeconds estimates when shed traffic should come back: the
+// backlog ahead of a new arrival, paced at the observed mean job latency
+// over the pool, clamped to [1, 60] seconds.
+func (s *Server) retryAfterSeconds() int {
+	avg := s.metrics.AvgJobSeconds()
+	if avg <= 0 {
+		avg = 1
+	}
+	backlog := float64(s.queue.Depth()) + float64(s.inflight.Load())
+	est := int(math.Ceil(avg * backlog / float64(s.opt.Workers)))
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+// worker pulls jobs until the queue closes and is drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		job, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
+		s.inflight.Add(1)
+		ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
+		start := time.Now()
+		rep, err := s.opt.Runner(ctx, job.Config, job.Steps)
+		elapsed := time.Since(start)
+		cancel()
+		s.runs.Add(1)
+		s.metrics.IncRun(err != nil)
+		s.metrics.ObserveJob(elapsed.Seconds())
+
+		var status int
+		var body []byte
+		if err != nil {
+			var ce *sim.CanceledError
+			if errors.As(err, &ce) {
+				status = http.StatusGatewayTimeout
+				body = errorBody("simulation exceeded its deadline: " + err.Error())
+			} else {
+				status = http.StatusInternalServerError
+				body = errorBody(err.Error())
+			}
+		} else {
+			status = http.StatusOK
+			body = responseBody(job.Key, job.Canonical, job.Steps, rep)
+			s.cache.Put(job.Key, body)
+		}
+
+		s.flightMu.Lock()
+		delete(s.flights, job.Key)
+		s.flightMu.Unlock()
+		job.flight.status = status
+		job.flight.body = body
+		close(job.flight.done)
+		s.inflight.Add(-1)
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteText(w, gauges{
+		QueueDepth:   s.queue.Depth(),
+		Inflight:     int(s.inflight.Load()),
+		CacheEntries: s.cache.Len(),
+		CacheEvicted: s.cache.Evictions(),
+		Draining:     s.draining.Load(),
+	})
+}

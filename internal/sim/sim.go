@@ -16,10 +16,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // CostModel translates abstract work (floating point operations, memory
@@ -455,12 +457,43 @@ func (r *Result) Categories() []string {
 // all live ranks ever block simultaneously on messages that can never
 // arrive, the built-in watchdog aborts the run with a DeadlockError naming
 // each blocked (rank, src, tag).  Errors are reported by decreasing
-// usefulness: injected crashes (CrashError), then deadlocks, then the first
-// rank's own error or panic, then shutdown-victim errors.
+// usefulness: injected crashes (CrashError), then deadlocks, then
+// cancellation (CanceledError, RunContext only), then the first rank's own
+// error or panic, then shutdown-victim errors.
 func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
+	return m.RunContext(context.Background(), body)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled or
+// its deadline passes, every mailbox is closed so ranks parked in Recv abort
+// at their next communication point (computation between communications is
+// never interrupted), and RunContext returns a *CanceledError wrapping
+// ctx.Err().  Cancellation composes with the hang watchdog rather than
+// racing it: a machine the watchdog has already proven deadlocked reports
+// the DeadlockError even if ctx expires during the shutdown drain, because
+// the deadlock — not the deadline — is the root cause.
+func (m *Machine) RunContext(ctx context.Context, body func(p *Proc) error) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, &CanceledError{Cause: err}
+	}
 	procs := make([]*Proc, m.n)
 	errs := make([]error, m.n)
 	m.wd.reset()
+	var canceled atomic.Bool
+	if ctx.Done() != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-ctx.Done():
+				// Order matters: the flag must be visible before the
+				// shutdown drain lets wg.Wait return below.
+				canceled.Store(true)
+				m.wd.shutdown()
+			case <-stop:
+			}
+		}()
+	}
 	var wg sync.WaitGroup
 	for r := 0; r < m.n; r++ {
 		procs[r] = &Proc{
@@ -542,6 +575,11 @@ func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
 	}
 	if err := m.wd.deadlock(); err != nil {
 		return res, err
+	}
+	if canceled.Load() {
+		// The aborted ranks below are victims of the cancellation drain,
+		// not independent failures.
+		return res, &CanceledError{Cause: ctx.Err()}
 	}
 	// Prefer a rank's own failure over the victims it shut down.
 	var victim error

@@ -64,6 +64,24 @@ func (e *CrashError) Error() string {
 	return fmt.Sprintf("sim: rank %d crashed at virtual time %.6gs (injected fault)", e.Rank, e.At)
 }
 
+// CanceledError reports that a RunContext was cut short by its context:
+// the deadline passed or the caller cancelled while ranks were still
+// running.  Cause is the context's error, so errors.Is(err,
+// context.DeadlineExceeded) and errors.Is(err, context.Canceled)
+// distinguish the two.  The run's Result reflects whatever the ranks had
+// completed when the drain reached them and must not be treated as a
+// finished simulation.
+type CanceledError struct {
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("sim: run canceled: %v", e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is/As.
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
 // abortedError marks a rank whose Recv was released by a machine abort
 // (deadlock, peer panic or peer error); it is a victim, not a cause, and
 // Run prefers any other error over it.
