@@ -6,10 +6,12 @@
 //
 // Endpoints:
 //
-//	POST /v1/run   {"config": {...canonical config...}, "steps": 2,
-//	                "priority": "high|normal|low", "timeout_ms": 5000}
-//	GET  /healthz  "ok" while serving, 503 while draining
-//	GET  /metrics  Prometheus text format
+//	POST /v1/run         {"config": {...canonical config...}, "steps": 2,
+//	                      "priority": "high|normal|low", "timeout_ms": 5000}
+//	GET  /v1/cache/{key} cached response body for a job key, or 404
+//	GET  /healthz        liveness: "ok" while the process is up
+//	GET  /readyz         readiness: "ready" while routable, 503 while draining
+//	GET  /metrics        Prometheus text format
 //
 // On SIGTERM or SIGINT the daemon drains: it refuses new requests, finishes
 // every accepted job (bounded by -drain-timeout), then exits.
@@ -37,6 +39,7 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 60*time.Second, "per-job execution budget")
 	maxSteps := flag.Int("max-steps", 0, "reject requests asking for more measured steps (0 = no limit)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for accepted jobs on shutdown")
+	backendID := flag.String("backend-id", "", "cluster member ID stamped on responses as X-Agcmd-Backend (empty = omit)")
 	flag.Parse()
 
 	s := server.New(server.Options{
@@ -45,6 +48,7 @@ func main() {
 		CacheEntries:  *cacheEntries,
 		JobTimeout:    *jobTimeout,
 		MaxSteps:      *maxSteps,
+		BackendID:     *backendID,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 

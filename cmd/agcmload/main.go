@@ -1,16 +1,30 @@
-// Command agcmload is the load generator and correctness prober for agcmd.
-// It replays a seeded, reproducible request mix (configurable concurrency
-// and duplicate ratio) against a live daemon and verifies the serving
-// layer's core promise while measuring it:
+// Command agcmload is the load generator and correctness prober for agcmd
+// and the agcmgw gateway.  It replays a seeded, reproducible request mix
+// (configurable concurrency, duplicate ratio, and optional Zipf-skewed key
+// reuse) against a live daemon and verifies the serving layer's core
+// promise while measuring it:
 //
-//   - every 200 response for a given job key is byte-identical (the cache
-//     and single-flight layers may never change what a config returns),
-//   - the daemon's /metrics deltas reconcile exactly with the client-side
-//     tallies (hits, misses, coalesced, shed, and runs == misses).
+//   - every 200 response for a given job key is byte-identical (the cache,
+//     single-flight, and — through the gateway — retry/hedge/degraded
+//     layers may never change what a config returns),
+//   - the daemon's /metrics deltas reconcile with the client-side tallies.
+//
+// Against agcmd (-target agcmd, the default) reconciliation is exact:
+// hits, misses, coalesced, shed, and runs == misses.  Against a gateway
+// (-target gateway, with -backends naming the agcmd members) it checks the
+// cluster ledger: the gateway's client-edge counters must match the
+// client's view exactly, and each backend's own served count may exceed
+// the gateway's received count only by the attempts the gateway abandoned
+// (hedge losers, timeouts) or lost in transport.
+//
+// 429 responses carry Retry-After; -retry429 makes the client honor it
+// (sleep, then reissue the same request) instead of just recording the
+// shed.  Every response, including retried ones, is tallied so the ledgers
+// still balance.
 //
 // It emits a BENCH_5.json-style report (throughput, p50/p99 latency, cache
-// hit ratio) and exits nonzero on any inconsistency, so it doubles as the
-// CI smoke test.
+// hit ratio, and in gateway mode the retry/hedge/breaker ledger) and exits
+// nonzero on any inconsistency, so it doubles as the CI smoke test.
 package main
 
 import (
@@ -51,14 +65,22 @@ func poolConfig(i, steps int) string {
 
 // buildSequence fixes the request mix up front: with probability dup a
 // request repeats an already-issued config, otherwise it draws the next
-// fresh one. Seeded, so the same flags reproduce the same mix.
-func buildSequence(n int, dup float64, seed int64) []int {
+// fresh one.  With zipf > 1 repeats are Zipf-skewed toward the earliest
+// configs (a hot-key distribution, the regime key-affinity routing is
+// built for); with zipf = 0 repeats are uniform.  Seeded, so the same
+// flags reproduce the same mix.
+func buildSequence(n int, dup, zipf float64, seed int64) []int {
 	rng := rand.New(rand.NewSource(seed))
 	seq := make([]int, n)
 	fresh := 0
 	for i := range seq {
 		if fresh > 0 && rng.Float64() < dup {
-			seq[i] = rng.Intn(fresh)
+			if zipf > 1 && fresh > 1 {
+				z := rand.NewZipf(rng, zipf, 1, uint64(fresh-1))
+				seq[i] = int(z.Uint64())
+			} else {
+				seq[i] = rng.Intn(fresh)
+			}
 		} else {
 			seq[i] = fresh
 			fresh++
@@ -76,6 +98,7 @@ type tally struct {
 	bodyHash   map[string][32]byte
 	latencies  []float64 // seconds, 200s only
 	mismatches []string
+	retried429 int
 }
 
 func (t *tally) record(status int, cacheHeader string, key string, body []byte, elapsed time.Duration) {
@@ -98,6 +121,12 @@ func (t *tally) record(status int, cacheHeader string, key string, body []byte, 
 	t.bodyHash[key] = h
 }
 
+func (t *tally) noteRetry429() {
+	t.mu.Lock()
+	t.retried429++
+	t.mu.Unlock()
+}
+
 func percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -106,8 +135,9 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[i]
 }
 
-// scrapeMetrics fetches /metrics and returns the agcmd counter samples.
-func scrapeMetrics(addr string) (map[string]float64, error) {
+// scrapeMetrics fetches /metrics and returns the counter samples whose
+// family carries the given prefix ("agcmd_" or "agcmgw_").
+func scrapeMetrics(addr, prefix string) (map[string]float64, error) {
 	resp, err := http.Get(addr + "/metrics")
 	if err != nil {
 		return nil, err
@@ -117,7 +147,7 @@ func scrapeMetrics(addr string) (map[string]float64, error) {
 	sc := bufio.NewScanner(resp.Body)
 	for sc.Scan() {
 		line := sc.Text()
-		if !strings.HasPrefix(line, "agcmd_") {
+		if !strings.HasPrefix(line, prefix) {
 			continue
 		}
 		i := strings.LastIndexByte(line, ' ')
@@ -133,12 +163,82 @@ func scrapeMetrics(addr string) (map[string]float64, error) {
 	return out, sc.Err()
 }
 
-// benchReport is the BENCH_5.json document.
+// deltaSum sums (after − before) over every sample whose name starts with
+// prefix, skipping samples whose name contains any exclude substring.
+// Iteration order is irrelevant: addition commutes.
+func deltaSum(before, after map[string]float64, prefix string, exclude ...string) float64 {
+	var s float64
+	for k, v := range after {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		skip := false
+		for _, e := range exclude {
+			if strings.Contains(k, e) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			s += v - before[k]
+		}
+	}
+	return s
+}
+
+// retryAfterSeconds parses a Retry-After header, defaulting and capping so
+// a misbehaving server cannot park the client forever.
+func retryAfterSeconds(h http.Header) time.Duration {
+	secs := 1
+	if v := h.Get("Retry-After"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			secs = n
+		}
+	}
+	if secs > 5 {
+		secs = 5
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// backendRecon is one backend's side of the cluster ledger.
+type backendRecon struct {
+	// Served is the backend's own /v1/run disposition count (its
+	// agcmd_requests_total delta, cache peeks excluded).
+	Served float64 `json:"served"`
+	// GatewayReceived is how many responses the gateway fully read from it.
+	GatewayReceived float64 `json:"gateway_received"`
+	// Canceled and TransportErrors bound the allowed gap: an abandoned or
+	// transport-failed attempt may have been served without being received.
+	Canceled        float64 `json:"canceled"`
+	TransportErrors float64 `json:"transport_errors"`
+	// Restarted marks a backend whose counters regressed mid-run (the
+	// process died and came back): its ledger is unverifiable for this
+	// window and is skipped when -allow-restart is set.
+	Restarted bool `json:"restarted,omitempty"`
+}
+
+// gatewayStats is the gateway-mode section of the report.
+type gatewayStats struct {
+	Policy             string                  `json:"policy"`
+	Retries            float64                 `json:"retries"`
+	RetryExhausted     float64                 `json:"retry_exhausted"`
+	HedgesLaunched     float64                 `json:"hedges_launched"`
+	HedgesWon          float64                 `json:"hedges_won"`
+	HedgesLost         float64                 `json:"hedges_lost"`
+	Degraded           float64                 `json:"degraded"`
+	BreakerTransitions float64                 `json:"breaker_transitions"`
+	PerBackend         map[string]backendRecon `json:"per_backend"`
+}
+
+// benchReport is the BENCH_5.json / BENCH_6.json document.
 type benchReport struct {
 	Note          string         `json:"note"`
+	Target        string         `json:"target"`
 	Requests      int            `json:"requests"`
 	Concurrency   int            `json:"concurrency"`
 	DupRatio      float64        `json:"dup_ratio"`
+	Zipf          float64        `json:"zipf,omitempty"`
 	Steps         int            `json:"steps"`
 	Seed          int64          `json:"seed"`
 	DurationS     float64        `json:"duration_s"`
@@ -149,25 +249,58 @@ type benchReport struct {
 	Dispositions  map[string]int `json:"dispositions"`
 	StatusCounts  map[string]int `json:"status_counts"`
 	DistinctKeys  int            `json:"distinct_keys"`
+	Retried429    int            `json:"retried_429"`
 	RunsDelta     float64        `json:"server_runs_delta"`
 	Reconciled    bool           `json:"metrics_reconciled"`
+	Gateway       *gatewayStats  `json:"gateway,omitempty"`
 }
 
 func main() {
-	addr := flag.String("addr", "http://127.0.0.1:8080", "agcmd base URL")
+	addr := flag.String("addr", "http://127.0.0.1:8080", "agcmd or agcmgw base URL")
+	target := flag.String("target", "agcmd", `what -addr points at: "agcmd" (exact cache reconciliation) or "gateway" (cluster ledger reconciliation)`)
+	backendsFlag := flag.String("backends", "", "comma-separated agcmd base URLs behind the gateway (gateway mode)")
+	policy := flag.String("policy", "", "routing policy label recorded in the report (gateway mode)")
 	requests := flag.Int("requests", 200, "number of requests to issue")
 	duration := flag.Duration("duration", 0, "optional wall-clock cutoff (0 = run the full request count)")
 	concurrency := flag.Int("concurrency", 8, "concurrent client connections")
 	dup := flag.Float64("dup", 0.5, "fraction of requests repeating an already-issued config")
+	zipf := flag.Float64("zipf", 0, "Zipf exponent for repeated-config draws (> 1 skews reuse toward hot keys; 0 = uniform)")
 	steps := flag.Int("steps", 1, "measured steps per simulation request")
 	seed := flag.Int64("seed", 1, "mix seed (same seed, same request mix)")
+	retry429 := flag.Int("retry429", 0, "times to honor a 429's Retry-After and reissue the request (0 = record the shed and move on)")
+	allowRestart := flag.Bool("allow-restart", false, "tolerate backend counter resets (a member was killed and restarted mid-run); its per-backend ledger is skipped, everything else still reconciles")
 	out := flag.String("out", "BENCH_5.json", "report path ('-' for stdout)")
 	flag.Parse()
 
-	seq := buildSequence(*requests, *dup, *seed)
-	before, err := scrapeMetrics(*addr)
+	if *target != "agcmd" && *target != "gateway" {
+		log.Fatalf("agcmload: unknown -target %q (want agcmd or gateway)", *target)
+	}
+	var backends []string
+	if *target == "gateway" {
+		for _, b := range strings.Split(*backendsFlag, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				backends = append(backends, strings.TrimRight(b, "/"))
+			}
+		}
+		if len(backends) == 0 {
+			log.Fatal("agcmload: gateway mode needs -backends")
+		}
+	}
+	prefix := "agcmd_"
+	if *target == "gateway" {
+		prefix = "agcmgw_"
+	}
+
+	seq := buildSequence(*requests, *dup, *zipf, *seed)
+	before, err := scrapeMetrics(*addr, prefix)
 	if err != nil {
 		log.Fatalf("agcmload: initial metrics scrape: %v", err)
+	}
+	beforeBackends := make([]map[string]float64, len(backends))
+	for i, b := range backends {
+		if beforeBackends[i], err = scrapeMetrics(b, "agcmd_"); err != nil {
+			log.Fatalf("agcmload: initial backend scrape %s: %v", b, err)
+		}
 	}
 
 	t := &tally{
@@ -195,42 +328,58 @@ func main() {
 					return
 				}
 				body := poolConfig(seq[i], *steps)
-				t0 := time.Now()
-				resp, err := http.Post(*addr+"/v1/run", "application/json", strings.NewReader(body))
-				if err != nil {
-					log.Fatalf("agcmload: request %d: %v", i, err)
-				}
-				raw, err := io.ReadAll(resp.Body)
-				resp.Body.Close()
-				if err != nil {
-					log.Fatalf("agcmload: reading response %d: %v", i, err)
-				}
-				elapsed := time.Since(t0)
-				key := ""
-				if resp.StatusCode == http.StatusOK {
-					var parsed struct {
-						Key string `json:"key"`
+				for attempt := 0; ; attempt++ {
+					t0 := time.Now()
+					resp, err := http.Post(*addr+"/v1/run", "application/json", strings.NewReader(body))
+					if err != nil {
+						log.Fatalf("agcmload: request %d: %v", i, err)
 					}
-					if err := json.Unmarshal(raw, &parsed); err != nil || parsed.Key == "" {
-						log.Fatalf("agcmload: response %d has no key: %v", i, err)
+					raw, err := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if err != nil {
+						log.Fatalf("agcmload: reading response %d: %v", i, err)
 					}
-					key = parsed.Key
+					elapsed := time.Since(t0)
+					key := ""
+					if resp.StatusCode == http.StatusOK {
+						var parsed struct {
+							Key string `json:"key"`
+						}
+						if err := json.Unmarshal(raw, &parsed); err != nil || parsed.Key == "" {
+							log.Fatalf("agcmload: response %d has no key: %v", i, err)
+						}
+						key = parsed.Key
+					}
+					t.record(resp.StatusCode, resp.Header.Get("X-Agcmd-Cache"), key, raw, elapsed)
+					if resp.StatusCode != http.StatusTooManyRequests || attempt >= *retry429 {
+						break
+					}
+					// Honor the server's own backpressure estimate before
+					// reissuing; the shed above is already tallied, so the
+					// ledgers still balance.
+					t.noteRetry429()
+					time.Sleep(retryAfterSeconds(resp.Header))
 				}
-				t.record(resp.StatusCode, resp.Header.Get("X-Agcmd-Cache"), key, raw, elapsed)
 			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	after, err := scrapeMetrics(*addr)
+	after, err := scrapeMetrics(*addr, prefix)
 	if err != nil {
 		log.Fatalf("agcmload: final metrics scrape: %v", err)
 	}
+	afterBackends := make([]map[string]float64, len(backends))
+	for i, b := range backends {
+		if afterBackends[i], err = scrapeMetrics(b, "agcmd_"); err != nil {
+			log.Fatalf("agcmload: final backend scrape %s: %v", b, err)
+		}
+	}
 	delta := func(name string) float64 { return after[name] - before[name] }
 
-	// Reconcile: the daemon's counters must agree exactly with what this
-	// client observed (it assumes it is the only client meanwhile).
+	// Reconcile: the daemon's counters must agree with what this client
+	// observed (it assumes it is the only client meanwhile).
 	failures := append([]string(nil), t.mismatches...)
 	reconcile := func(metric string, observed int) {
 		if got := delta(metric); got != float64(observed) {
@@ -238,11 +387,84 @@ func main() {
 				fmt.Sprintf("%s advanced by %g, client observed %d", metric, got, observed))
 		}
 	}
-	reconcile(`agcmd_requests_total{result="hit"}`, t.byCache["hit"])
-	reconcile(`agcmd_requests_total{result="miss"}`, t.byCache["miss"])
-	reconcile(`agcmd_requests_total{result="coalesced"}`, t.byCache["coalesced"])
-	reconcile(`agcmd_requests_total{result="shed"}`, t.byStatus[http.StatusTooManyRequests])
-	reconcile(`agcmd_runs_total`, t.byCache["miss"]) // every miss runs exactly once
+
+	var gwStats *gatewayStats
+	var runsDelta float64
+	if *target == "agcmd" {
+		reconcile(`agcmd_requests_total{result="hit"}`, t.byCache["hit"])
+		reconcile(`agcmd_requests_total{result="miss"}`, t.byCache["miss"])
+		reconcile(`agcmd_requests_total{result="coalesced"}`, t.byCache["coalesced"])
+		reconcile(`agcmd_requests_total{result="shed"}`, t.byStatus[http.StatusTooManyRequests])
+		reconcile(`agcmd_runs_total`, t.byCache["miss"]) // every miss runs exactly once
+		runsDelta = delta("agcmd_runs_total")
+	} else {
+		// Client edge: the gateway's outcome counters must match the client's
+		// status tallies exactly — nothing accepted may go unaccounted.
+		ok200 := t.byStatus[http.StatusOK]
+		shed, errs, rejected := 0, 0, 0
+		for status, n := range t.byStatus {
+			switch {
+			case status == http.StatusTooManyRequests ||
+				status == http.StatusBadGateway || status == http.StatusServiceUnavailable:
+				shed += n
+			case status >= 500:
+				errs += n
+			case status >= 400:
+				rejected += n
+			}
+		}
+		okDelta := delta(`agcmgw_requests_total{result="ok"}`) + delta(`agcmgw_requests_total{result="degraded"}`)
+		if okDelta != float64(ok200) {
+			failures = append(failures, fmt.Sprintf("gateway ok+degraded advanced by %g, client saw %d 200s", okDelta, ok200))
+		}
+		reconcile(`agcmgw_requests_total{result="shed"}`, shed)
+		reconcile(`agcmgw_requests_total{result="error"}`, errs)
+		reconcile(`agcmgw_requests_total{result="rejected"}`, rejected)
+
+		// Cluster ledger: per backend, what it served may exceed what the
+		// gateway fully received only by abandoned or transport-failed
+		// attempts (hedge losers read to completion appear on both sides).
+		perBackend := make(map[string]backendRecon, len(backends))
+		for i, b := range backends {
+			served := deltaSum(beforeBackends[i], afterBackends[i],
+				"agcmd_requests_total{", "peek_hit", "peek_miss")
+			received := deltaSum(before, after,
+				`agcmgw_backend_responses_total{backend="`+b+`"`)
+			canceled := deltaSum(before, after,
+				`agcmgw_backend_canceled_total{backend="`+b+`"`)
+			transport := deltaSum(before, after,
+				`agcmgw_backend_transport_errors_total{backend="`+b+`"`)
+			diff := served - received
+			// A monotonic counter going backwards means the process restarted;
+			// a negative gap is the same signal seen through the ledger.
+			regressed := afterBackends[i]["agcmd_runs_total"] < beforeBackends[i]["agcmd_runs_total"]
+			rec := backendRecon{
+				Served: served, GatewayReceived: received,
+				Canceled: canceled, TransportErrors: transport,
+			}
+			switch {
+			case *allowRestart && (regressed || diff < 0):
+				rec.Restarted = true
+			case diff < 0 || diff > canceled+transport:
+				failures = append(failures, fmt.Sprintf(
+					"backend %s served %g but gateway received %g (allowed gap 0..%g)",
+					b, served, received, canceled+transport))
+			}
+			perBackend[b] = rec
+			runsDelta += afterBackends[i]["agcmd_runs_total"] - beforeBackends[i]["agcmd_runs_total"]
+		}
+		gwStats = &gatewayStats{
+			Policy:             *policy,
+			Retries:            delta("agcmgw_retries_total"),
+			RetryExhausted:     delta("agcmgw_retry_budget_exhausted_total"),
+			HedgesLaunched:     delta(`agcmgw_hedges_total{result="launched"}`),
+			HedgesWon:          delta(`agcmgw_hedges_total{result="won"}`),
+			HedgesLost:         delta(`agcmgw_hedges_total{result="lost"}`),
+			Degraded:           delta(`agcmgw_requests_total{result="degraded"}`),
+			BreakerTransitions: deltaSum(before, after, "agcmgw_breaker_transitions_total{"),
+			PerBackend:         perBackend,
+		}
+	}
 
 	sort.Float64s(t.latencies)
 	issued := 0
@@ -252,11 +474,13 @@ func main() {
 	okCount := t.byStatus[http.StatusOK]
 	hits := t.byCache["hit"] + t.byCache["coalesced"]
 	rep := benchReport{
-		Note: "agcmd serving benchmark: latency/throughput are host-dependent; " +
+		Note: "agcm serving benchmark: latency/throughput are host-dependent; " +
 			"dispositions and reconciliation are deterministic for a given mix and pool size",
+		Target:        *target,
 		Requests:      issued,
 		Concurrency:   *concurrency,
 		DupRatio:      *dup,
+		Zipf:          *zipf,
 		Steps:         *steps,
 		Seed:          *seed,
 		DurationS:     elapsed.Seconds(),
@@ -267,8 +491,10 @@ func main() {
 		Dispositions:  t.byCache,
 		StatusCounts:  statusKeys(t.byStatus),
 		DistinctKeys:  len(t.bodyHash),
-		RunsDelta:     delta("agcmd_runs_total"),
+		Retried429:    t.retried429,
+		RunsDelta:     runsDelta,
 		Reconciled:    len(failures) == 0,
+		Gateway:       gwStats,
 	}
 	raw, _ := json.MarshalIndent(rep, "", "  ")
 	raw = append(raw, '\n')

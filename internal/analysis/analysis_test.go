@@ -23,6 +23,13 @@ func TestServerScopeFixtures(t *testing.T) {
 	analysistest.Run(t, analysis.Nondeterm, "./testdata/src/server")
 }
 
+// TestGatewayScopeFixtures pins the gateway scope to the same map-order-only
+// level: backend scoring that leaks map iteration order is flagged, the wall
+// clock (probes, backoff) is not.
+func TestGatewayScopeFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.Nondeterm, "./testdata/src/gateway")
+}
+
 func TestCommtagFixtures(t *testing.T) {
 	analysistest.Run(t, analysis.Commtag, "./testdata/src/commtag")
 }

@@ -72,6 +72,10 @@ var nondetermScope = map[string]determinismLevel{
 	// bodies and /metrics text are replayed byte-for-byte, so map emission
 	// order still must be deterministic.
 	"server": levelMapOrder,
+	// The gateway routes on real time (probes, backoff, cooldowns) but its
+	// /metrics scrapes, event classifications, and backend rankings must not
+	// depend on map iteration order; covers internal/gateway/chaostest too.
+	"gateway": levelMapOrder,
 }
 
 // nondetermLevel returns the determinism level the package with the given

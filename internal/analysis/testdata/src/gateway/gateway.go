@@ -1,0 +1,63 @@
+// Package gateway is the analysistest fixture for the nondeterm analyzer's
+// map-order-only level as applied to the cluster gateway: wall-clock reads
+// are legitimate (probing, backoff, cooldowns time real requests), but a
+// backend ranking or metrics emission that leaks map iteration order would
+// make routing and scrapes nondeterministic, so map ranges are still
+// checked.
+package gateway
+
+import (
+	"sort"
+	"time"
+)
+
+// ProbeAge exercises the wall-clock exemption: health probing times real
+// backends, so none of these are flagged at this level.
+func ProbeAge(lastProbe time.Time) float64 {
+	return time.Since(lastProbe).Seconds()
+}
+
+// ScoreBackends ranks cluster members for a key by iterating the backend
+// map directly: ties then resolve in map order, so two gateways given the
+// same cluster could route the same key differently.  Flagged.
+func ScoreBackends(backends map[string]int, key string) string {
+	best := ""
+	bestScore := -1
+	for id, weight := range backends { // want `range over map backends: iteration order is nondeterministic`
+		score := len(key) * weight
+		if score > bestScore {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// ScoreSorted is the approved scorer idiom: collect the IDs, sort them,
+// then score — ties now break toward the lexicographically first backend
+// on every gateway.
+func ScoreSorted(backends map[string]int, key string) string {
+	ids := make([]string, 0, len(backends))
+	for id := range backends {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	best := ""
+	bestScore := -1
+	for _, id := range ids {
+		score := len(key) * backends[id]
+		if score > bestScore {
+			best, bestScore = id, score
+		}
+	}
+	return best
+}
+
+// CountEligible ranges without binding variables; order is unobservable
+// and not flagged at any level.
+func CountEligible(backends map[string]bool) int {
+	n := 0
+	for range backends {
+		n++
+	}
+	return n
+}

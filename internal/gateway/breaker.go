@@ -1,0 +1,171 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's three states.
+type BreakerState int
+
+const (
+	// BreakerClosed: the backend is trusted; traffic flows.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the backend has failed repeatedly; traffic is ejected
+	// until the open interval elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the open interval elapsed; exactly one probe request
+	// is allowed through to decide between readmission and re-ejection.
+	BreakerHalfOpen
+)
+
+// String returns the state name used in metrics and event logs.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "invalid"
+}
+
+// breaker is a per-backend three-state circuit breaker.  Failures here mean
+// transport-level trouble (connection errors, timeouts, 502/503) — a
+// deterministic simulation error is the backend doing its job and never
+// trips it.
+//
+// Closed counts consecutive failures and opens at the threshold.  Open
+// rejects everything until openFor elapses, then the next Allow transitions
+// to half-open and is admitted as the probe.  Half-open admits exactly one
+// in-flight probe: success closes the breaker (readmission), failure
+// re-opens it for another openFor.
+type breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	threshold int           // consecutive failures that open the breaker
+	openFor   time.Duration // how long Open rejects before probing
+	fails     int           // consecutive failures while closed
+	openedAt  time.Time
+	probing   bool // half-open: the single probe slot is taken
+	now       func() time.Time
+
+	// onTransition, if set, observes every state change (for metrics and
+	// event logs).  Called without the breaker lock held.
+	onTransition func(from, to BreakerState)
+}
+
+func newBreaker(threshold int, openFor time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, openFor: openFor, now: now}
+}
+
+// State returns the current state, surfacing Open→HalfOpen expiry without
+// waiting for the next Allow.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.openFor {
+		return BreakerHalfOpen
+	}
+	return b.state
+}
+
+// Allow reports whether a request may be sent to this backend now.  probe
+// is true when the caller holds the half-open probe slot: its outcome must
+// be reported through Record with the same probe flag.
+func (b *breaker) Allow() (ok, probe bool) {
+	b.mu.Lock()
+	var trans [][2]BreakerState
+	defer func() {
+		b.mu.Unlock()
+		b.notify(trans)
+	}()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.openFor {
+			return false, false
+		}
+		trans = append(trans, [2]BreakerState{BreakerOpen, BreakerHalfOpen})
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true, true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+	return false, false
+}
+
+// Record reports one request outcome.  probe must be the flag Allow handed
+// out; recovery is probe-gated — only the probe's verdict moves a half-open
+// breaker, while stale results from requests launched before the breaker
+// opened are ignored.
+func (b *breaker) Record(success, probe bool) {
+	b.mu.Lock()
+	var trans [][2]BreakerState
+	switch b.state {
+	case BreakerClosed:
+		if success {
+			b.fails = 0
+		} else {
+			b.fails++
+			if b.fails >= b.threshold {
+				trans = append(trans, [2]BreakerState{BreakerClosed, BreakerOpen})
+				b.state = BreakerOpen
+				b.openedAt = b.now()
+				b.fails = 0
+			}
+		}
+	case BreakerHalfOpen:
+		if !probe {
+			break // stale result from before the trip: not the probe's verdict
+		}
+		b.probing = false
+		if success {
+			trans = append(trans, [2]BreakerState{BreakerHalfOpen, BreakerClosed})
+			b.state = BreakerClosed
+			b.fails = 0
+		} else {
+			trans = append(trans, [2]BreakerState{BreakerHalfOpen, BreakerOpen})
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerOpen:
+		// Late results cannot close an open breaker; only the probe can.
+	}
+	b.mu.Unlock()
+	b.notify(trans)
+}
+
+// Forgive releases a claimed probe slot without rendering a verdict: the
+// attempt was canceled by the gateway itself (a hedge loser or a client
+// disconnect), which says nothing about the backend's health.
+func (b *breaker) Forgive(probe bool) {
+	if !probe {
+		return
+	}
+	b.mu.Lock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+	}
+	b.mu.Unlock()
+}
+
+func (b *breaker) notify(trans [][2]BreakerState) {
+	if b.onTransition == nil {
+		return
+	}
+	for _, t := range trans {
+		b.onTransition(t[0], t[1])
+	}
+}

@@ -1,0 +1,265 @@
+package gateway
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// breakerStep is one operation in a table-driven transition scenario.
+type breakerStep struct {
+	op        string        // "ok", "fail", "okProbe", "failProbe", "advance", "allow", "deny", "forgiveProbe"
+	d         time.Duration // for "advance"
+	wantState BreakerState  // checked after the op
+	wantProbe bool          // for "allow": expected probe flag
+}
+
+// TestBreakerTransitions drives the state machine through every documented
+// transition: closed→open at the failure threshold, open→half-open after
+// the open interval, half-open→closed on probe success (readmission),
+// half-open→open on probe failure, plus the guards — success resets the
+// consecutive count, stale non-probe results cannot move a half-open
+// breaker, and the half-open slot admits exactly one probe.
+func TestBreakerTransitions(t *testing.T) {
+	const openFor = 10 * time.Second
+	cases := []struct {
+		name      string
+		threshold int
+		steps     []breakerStep
+	}{
+		{
+			name:      "closed opens at threshold",
+			threshold: 3,
+			steps: []breakerStep{
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerOpen},
+				{op: "deny", wantState: BreakerOpen},
+			},
+		},
+		{
+			name:      "success resets the consecutive count",
+			threshold: 2,
+			steps: []breakerStep{
+				{op: "fail", wantState: BreakerClosed},
+				{op: "ok", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "ok", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerClosed},
+				{op: "fail", wantState: BreakerOpen},
+			},
+		},
+		{
+			name:      "open admits a probe after the interval, success closes",
+			threshold: 1,
+			steps: []breakerStep{
+				{op: "fail", wantState: BreakerOpen},
+				{op: "deny", wantState: BreakerOpen},
+				{op: "advance", d: openFor, wantState: BreakerHalfOpen},
+				{op: "allow", wantProbe: true, wantState: BreakerHalfOpen},
+				{op: "deny", wantState: BreakerHalfOpen}, // single probe slot
+				{op: "okProbe", wantState: BreakerClosed},
+				{op: "allow", wantProbe: false, wantState: BreakerClosed},
+			},
+		},
+		{
+			name:      "half-open probe failure re-opens",
+			threshold: 1,
+			steps: []breakerStep{
+				{op: "fail", wantState: BreakerOpen},
+				{op: "advance", d: openFor, wantState: BreakerHalfOpen},
+				{op: "allow", wantProbe: true, wantState: BreakerHalfOpen},
+				{op: "failProbe", wantState: BreakerOpen},
+				{op: "deny", wantState: BreakerOpen},
+				// A second full cycle still works: the re-opened interval
+				// restarts from the probe failure.
+				{op: "advance", d: openFor, wantState: BreakerHalfOpen},
+				{op: "allow", wantProbe: true, wantState: BreakerHalfOpen},
+				{op: "okProbe", wantState: BreakerClosed},
+			},
+		},
+		{
+			name:      "stale non-probe results cannot move a half-open breaker",
+			threshold: 1,
+			steps: []breakerStep{
+				{op: "fail", wantState: BreakerOpen},
+				{op: "advance", d: openFor, wantState: BreakerHalfOpen},
+				{op: "allow", wantProbe: true, wantState: BreakerHalfOpen},
+				{op: "ok", wantState: BreakerHalfOpen},   // late success from before the trip
+				{op: "fail", wantState: BreakerHalfOpen}, // late failure likewise
+				{op: "okProbe", wantState: BreakerClosed},
+			},
+		},
+		{
+			name:      "forgiven probe frees the slot without a verdict",
+			threshold: 1,
+			steps: []breakerStep{
+				{op: "fail", wantState: BreakerOpen},
+				{op: "advance", d: openFor, wantState: BreakerHalfOpen},
+				{op: "allow", wantProbe: true, wantState: BreakerHalfOpen},
+				{op: "forgiveProbe", wantState: BreakerHalfOpen},
+				{op: "allow", wantProbe: true, wantState: BreakerHalfOpen},
+				{op: "okProbe", wantState: BreakerClosed},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clock := newFakeClock()
+			b := newBreaker(tc.threshold, openFor, clock.Now)
+			for i, st := range tc.steps {
+				switch st.op {
+				case "ok":
+					b.Record(true, false)
+				case "fail":
+					b.Record(false, false)
+				case "okProbe":
+					b.Record(true, true)
+				case "failProbe":
+					b.Record(false, true)
+				case "forgiveProbe":
+					b.Forgive(true)
+				case "advance":
+					clock.Advance(st.d)
+				case "allow":
+					ok, probe := b.Allow()
+					if !ok {
+						t.Fatalf("step %d: Allow refused, want admitted", i)
+					}
+					if probe != st.wantProbe {
+						t.Fatalf("step %d: probe = %v, want %v", i, probe, st.wantProbe)
+					}
+				case "deny":
+					if ok, _ := b.Allow(); ok {
+						t.Fatalf("step %d: Allow admitted, want refused", i)
+					}
+				default:
+					t.Fatalf("step %d: unknown op %q", i, st.op)
+				}
+				if got := b.State(); got != st.wantState {
+					t.Fatalf("step %d (%s): state = %v, want %v", i, st.op, got, st.wantState)
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerTransitionCallback: every state change is observed exactly
+// once, in order.
+func TestBreakerTransitionCallback(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(2, time.Second, clock.Now)
+	var seen []string
+	var mu sync.Mutex
+	b.onTransition = func(from, to BreakerState) {
+		mu.Lock()
+		seen = append(seen, from.String()+"->"+to.String())
+		mu.Unlock()
+	}
+	b.Record(false, false)
+	b.Record(false, false) // trips
+	clock.Advance(time.Second)
+	if ok, probe := b.Allow(); !ok || !probe {
+		t.Fatalf("expected the half-open probe slot, got ok=%v probe=%v", ok, probe)
+	}
+	b.Record(true, true) // readmits
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != len(want) {
+		t.Fatalf("transitions = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %q, want %q", i, seen[i], want[i])
+		}
+	}
+}
+
+// TestBreakerConcurrentRecorders hammers one breaker from many goroutines
+// mixing successes, failures, Allow claims, and clock advances — the -race
+// guard for the state machine.  Invariants checked throughout: State is
+// always one of the three values, and the transition callback only reports
+// legal edges.
+func TestBreakerConcurrentRecorders(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(3, time.Millisecond, clock.Now)
+	var illegal atomic.Int64
+	legal := map[string]bool{
+		"closed->open":      true,
+		"open->half-open":   true,
+		"half-open->closed": true,
+		"half-open->open":   true,
+	}
+	b.onTransition = func(from, to BreakerState) {
+		if !legal[from.String()+"->"+to.String()] {
+			illegal.Add(1)
+		}
+	}
+	const goroutines = 8
+	const iters = 2000
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (gi + i) % 5 {
+				case 0:
+					b.Record(true, false)
+				case 1:
+					b.Record(false, false)
+				case 2:
+					if ok, probe := b.Allow(); ok {
+						b.Record(i%2 == 0, probe)
+					}
+				case 3:
+					clock.Advance(time.Millisecond / 4)
+				case 4:
+					if s := b.State(); s != BreakerClosed && s != BreakerOpen && s != BreakerHalfOpen {
+						illegal.Add(1)
+					}
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	if n := illegal.Load(); n != 0 {
+		t.Fatalf("%d illegal states/transitions observed", n)
+	}
+	// The machine must still function after the storm: drive it to a known
+	// state.
+	for i := 0; i < 10; i++ {
+		b.Record(false, false)
+	}
+	clock.Advance(time.Second)
+	if ok, probe := b.Allow(); ok && probe {
+		b.Record(true, true)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("post-storm recovery failed: state %v", got)
+	}
+}

@@ -1,0 +1,182 @@
+package chaostest
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting reverse proxy in front of one backend.  Every
+// request is assigned a sequence number on arrival; the spec decides from
+// (seed, kind, sequence) alone which faults fire, so the injected schedule
+// is a deterministic property of the scenario even under concurrent load.
+//
+// Fault order per request: delay (added latency), then drop (connection
+// closed before any bytes), then burst5xx (error status without reaching
+// the backend), then the request is proxied and reset (connection severed
+// mid-body) or slowbody (trickled response) may corrupt the reply.
+type Proxy struct {
+	spec    *Spec
+	backend string
+	client  *http.Client
+	ts      *httptest.Server
+	seq     atomic.Uint64
+
+	mu       sync.Mutex
+	injected map[string]uint64
+}
+
+// NewProxy starts a fault-injecting proxy in front of the backend base URL.
+// Close it when done.
+func NewProxy(spec *Spec, backendURL string) *Proxy {
+	p := &Proxy{
+		spec:     spec,
+		backend:  strings.TrimRight(backendURL, "/"),
+		client:   &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 16}},
+		injected: make(map[string]uint64),
+	}
+	p.ts = httptest.NewServer(http.HandlerFunc(p.serve))
+	return p
+}
+
+// URL returns the proxy's base URL — the address the gateway should dial.
+func (p *Proxy) URL() string { return p.ts.URL }
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() {
+	p.ts.Close()
+	p.client.CloseIdleConnections()
+}
+
+// Injected returns how many times the named fault fired.
+func (p *Proxy) Injected(kind string) uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.injected[kind]
+}
+
+// InjectedKinds lists the fault kinds that fired, sorted.
+func (p *Proxy) InjectedKinds() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kinds := make([]string, 0, len(p.injected))
+	for k := range p.injected {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}
+
+func (p *Proxy) count(kind string) {
+	p.mu.Lock()
+	p.injected[kind]++
+	p.mu.Unlock()
+}
+
+// sever hijacks the client connection and kills it without a clean
+// shutdown — SetLinger(0) turns the close into a TCP RST where the stack
+// supports it, so the gateway sees a genuine connection reset rather than
+// a tidy EOF.
+func sever(w http.ResponseWriter) {
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		return
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tcp, ok := conn.(*net.TCPConn); ok {
+		tcp.SetLinger(0)
+	}
+	conn.Close()
+}
+
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request) {
+	seq := p.seq.Add(1) - 1
+	s := p.spec
+
+	if d := s.Delay; d != nil && s.roll("delay", seq) < d.Prob {
+		p.count("delay")
+		time.Sleep(time.Duration(d.MS) * time.Millisecond)
+	}
+	if d := s.Drop; d != nil && s.roll("drop", seq) < d.Prob {
+		p.count("drop")
+		sever(w)
+		return
+	}
+	if b := s.Burst; b != nil && seq%uint64(b.Every) < uint64(b.Len) {
+		p.count("burst5xx")
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(b.Code)
+		io.WriteString(w, `{"error":"chaostest: injected burst"}`+"\n")
+		return
+	}
+
+	// Proxy the request upstream.
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, p.backend+r.URL.RequestURI(), r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	resp, err := p.client.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	//lint:allow nondeterm each iteration copies its own ranged key into the destination header map; order is unobservable
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+
+	if rs := s.Reset; rs != nil && s.roll("reset", seq) < rs.Prob {
+		p.count("reset")
+		w.WriteHeader(resp.StatusCode)
+		w.Write(body[:len(body)/2])
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		sever(w)
+		return
+	}
+	if sb := s.SlowBody; sb != nil && s.roll("slowbody", seq) < sb.Prob {
+		p.count("slowbody")
+		w.WriteHeader(resp.StatusCode)
+		f, _ := w.(http.Flusher)
+		for off := 0; off < len(body); off += sb.Chunk {
+			end := off + sb.Chunk
+			if end > len(body) {
+				end = len(body)
+			}
+			if _, err := w.Write(body[off:end]); err != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+			if sb.MS > 0 && end < len(body) {
+				time.Sleep(time.Duration(sb.MS) * time.Millisecond)
+			}
+		}
+		return
+	}
+
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}

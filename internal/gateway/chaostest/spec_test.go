@@ -1,0 +1,132 @@
+package chaostest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "seed=42;delay:prob=0.2,ms=50;drop:prob=0.02;reset:prob=0.05;burst5xx:every=20,len=3,code=503;slowbody:prob=0.1,chunk=64,ms=2"
+	spec, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 42 || spec.Delay == nil || spec.Drop == nil ||
+		spec.Reset == nil || spec.Burst == nil || spec.SlowBody == nil {
+		t.Fatalf("parse lost clauses: %+v", spec)
+	}
+	if spec.Delay.Prob != 0.2 || spec.Delay.MS != 50 {
+		t.Fatalf("delay = %+v", spec.Delay)
+	}
+	if spec.Burst.Every != 20 || spec.Burst.Len != 3 || spec.Burst.Code != 503 {
+		t.Fatalf("burst = %+v", spec.Burst)
+	}
+	// String renders back to the same clause syntax, and re-parsing it
+	// yields the same scenario.
+	out := spec.String()
+	if out != in {
+		t.Fatalf("String() = %q, want %q", out, in)
+	}
+	again, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Fatalf("round trip unstable: %q vs %q", again.String(), out)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec, err := Parse("burst5xx:every=10,len=2;slowbody:prob=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Burst.Code != 503 {
+		t.Errorf("burst code default = %d, want 503", spec.Burst.Code)
+	}
+	if spec.SlowBody.Chunk != 64 {
+		t.Errorf("slowbody chunk default = %d, want 64", spec.SlowBody.Chunk)
+	}
+	if empty, err := Parse(""); err != nil || empty.Seed != 0 || empty.Delay != nil {
+		t.Errorf("empty spec should be transparent: %+v, %v", empty, err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, bad := range []string{
+		"explode:now=1",                  // unknown kind
+		"delay:prob=2,ms=10",             // probability out of range
+		"delay:prob=0.1,ms=0",            // non-positive delay
+		"delay:prob=0.1,whoops=3",        // unknown parameter
+		"burst5xx:every=5,len=9",         // window longer than period
+		"burst5xx:every=5,len=2,code=42", // not a 5xx status
+		"seed=banana",
+		"drop:prob",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+// TestScheduleIsDeterministic: the fault schedule is a pure function of
+// (seed, kind, sequence) — two spec instances agree exactly, and a
+// different seed produces a different schedule.
+func TestScheduleIsDeterministic(t *testing.T) {
+	a, _ := Parse("seed=7;drop:prob=0.3")
+	b, _ := Parse("seed=7;drop:prob=0.3")
+	c, _ := Parse("seed=8;drop:prob=0.3")
+	same, diff := 0, 0
+	for seq := uint64(0); seq < 512; seq++ {
+		ra, rb, rc := a.roll("drop", seq), b.roll("drop", seq), c.roll("drop", seq)
+		if ra != rb {
+			t.Fatalf("seq %d: same seed rolled %g vs %g", seq, ra, rb)
+		}
+		if ra < 0 || ra >= 1 {
+			t.Fatalf("seq %d: roll %g outside [0,1)", seq, ra)
+		}
+		if (ra < 0.3) == (rc < 0.3) {
+			same++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Different kinds must not share a schedule either.
+	kinds := 0
+	for seq := uint64(0); seq < 256; seq++ {
+		if a.roll("drop", seq) != a.roll("delay", seq) {
+			kinds++
+		}
+	}
+	if kinds == 0 {
+		t.Fatal("fault kinds share one schedule")
+	}
+}
+
+// TestRollFrequency: over many sequence numbers the empirical fire rate
+// tracks the configured probability (the hash is uniform enough to trust
+// prob knobs).
+func TestRollFrequency(t *testing.T) {
+	spec, _ := Parse("seed=123;drop:prob=0.2")
+	fired := 0
+	const n = 4096
+	for seq := uint64(0); seq < n; seq++ {
+		if spec.roll("drop", seq) < spec.Drop.Prob {
+			fired++
+		}
+	}
+	rate := float64(fired) / n
+	if rate < 0.15 || rate > 0.25 {
+		t.Fatalf("drop rate %.3f far from configured 0.2", rate)
+	}
+}
+
+func TestValidateDirect(t *testing.T) {
+	bad := &Spec{Burst: &Burst5xx{Every: 0, Len: 1, Code: 503}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "burst5xx") {
+		t.Fatalf("Validate() = %v, want burst5xx error", err)
+	}
+}

@@ -1,0 +1,480 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agcm/internal/core"
+	"agcm/internal/server"
+)
+
+// reqJSON builds a valid /v1/run body (the gateway validates configs at the
+// edge, so stubs still need real ones).
+func reqJSON(px int, filter string, steps int) string {
+	return fmt.Sprintf(`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon",`+
+		`"mesh_py":1,"mesh_px":%d,"filter":%q},"steps":%d}`, px, filter, steps)
+}
+
+// stubBackend fakes an agcmd: a scripted /v1/run handler plus conventional
+// /readyz and /v1/cache handlers.
+type stubBackend struct {
+	ts    *httptest.Server
+	ready atomic.Bool
+	runs  atomic.Int64
+	run   func(w http.ResponseWriter, r *http.Request)
+	// cached, when non-empty, is served for every /v1/cache/{key} GET.
+	cached atomic.Pointer[string]
+}
+
+func newStubBackend(run func(w http.ResponseWriter, r *http.Request)) *stubBackend {
+	b := &stubBackend{run: run}
+	b.ready.Store(true)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/run", func(w http.ResponseWriter, r *http.Request) {
+		b.runs.Add(1)
+		b.run(w, r)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if !b.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+	mux.HandleFunc("/v1/cache/", func(w http.ResponseWriter, r *http.Request) {
+		if body := b.cached.Load(); body != nil && *body != "" {
+			w.Header().Set("X-Agcmd-Cache", "peek")
+			io.WriteString(w, *body)
+			return
+		}
+		http.Error(w, "not cached", http.StatusNotFound)
+	})
+	b.ts = httptest.NewServer(mux)
+	return b
+}
+
+func ok200(body string) func(w http.ResponseWriter, r *http.Request) {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}
+}
+
+func always503(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusServiceUnavailable)
+}
+
+// newTestGateway builds a gateway over the stubs with probing disabled
+// (tests drive health by hand) and fast backoff.
+func newTestGateway(t *testing.T, opt Options, stubs ...*stubBackend) *Gateway {
+	t.Helper()
+	for _, s := range stubs {
+		opt.Backends = append(opt.Backends, s.ts.URL)
+	}
+	if opt.ProbeInterval == 0 {
+		opt.ProbeInterval = -1
+	}
+	if opt.BackoffBase == 0 {
+		opt.BackoffBase = time.Millisecond
+	}
+	if opt.BackoffCap == 0 {
+		opt.BackoffCap = 4 * time.Millisecond
+	}
+	g, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(g.Close)
+	return g
+}
+
+func postGW(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/run", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, raw
+}
+
+// TestRetryMasksBackendFailure: the primary backend answers 503; the retry
+// layer must fail over to the healthy one and the client sees a clean 200.
+func TestRetryMasksBackendFailure(t *testing.T) {
+	bad := newStubBackend(always503)
+	good := newStubBackend(ok200(`{"key":"k","report":{}}` + "\n"))
+	defer bad.ts.Close()
+	defer good.ts.Close()
+	// round-robin starts at backend 0 (bad) for the first request.
+	g := newTestGateway(t, Options{Policy: "round-robin"}, bad, good)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	st, h, body := postGW(t, ts.URL, reqJSON(1, "fft", 1))
+	if st != 200 {
+		t.Fatalf("status %d, want 200 (failure must be masked): %s", st, body)
+	}
+	if got := h.Get("X-Agcmgw-Attempts"); got != "2" {
+		t.Errorf("X-Agcmgw-Attempts = %q, want 2", got)
+	}
+	if g.metrics.Retries() != 1 {
+		t.Errorf("retries = %d, want 1", g.metrics.Retries())
+	}
+	if bad.runs.Load() != 1 || good.runs.Load() != 1 {
+		t.Errorf("backend runs = %d/%d, want 1/1", bad.runs.Load(), good.runs.Load())
+	}
+}
+
+// TestBreakerOpensEjectsAndRecovers: repeated 503s open the primary's
+// breaker (ejecting it from routing), and once it heals a half-open probe
+// readmits it.
+func TestBreakerOpensEjectsAndRecovers(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	flaky := newStubBackend(func(w http.ResponseWriter, r *http.Request) {
+		if failing.Load() {
+			always503(w, r)
+			return
+		}
+		ok200(`{"ok":true}` + "\n")(w, r)
+	})
+	good := newStubBackend(ok200(`{"ok":true}` + "\n"))
+	defer flaky.ts.Close()
+	defer good.ts.Close()
+	g := newTestGateway(t, Options{
+		Policy:        "round-robin",
+		FailThreshold: 2,
+		OpenFor:       300 * time.Millisecond,
+	}, flaky, good)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	// Two failed attempts trip the breaker; each request still succeeds via
+	// the healthy backend.
+	for i := 0; i < 2; i++ {
+		if st, _, b := postGW(t, ts.URL, reqJSON(1, "fft", 1)); st != 200 {
+			t.Fatalf("request %d: status %d: %s", i, st, b)
+		}
+	}
+	if got := g.backends[0].breaker.State(); got != BreakerOpen {
+		t.Fatalf("breaker state %v, want open after %d failures", got, 2)
+	}
+	// While open, round-robin's turn on the flaky backend is skipped: no new
+	// attempts land on it.
+	before := flaky.runs.Load()
+	for i := 0; i < 4; i++ {
+		if st, _, _ := postGW(t, ts.URL, reqJSON(1, "fft", 1)); st != 200 {
+			t.Fatalf("request during ejection: status %d", st)
+		}
+	}
+	if got := flaky.runs.Load(); got != before {
+		t.Fatalf("ejected backend received %d new requests", got-before)
+	}
+
+	// Heal it, wait out the open interval: the next attempt through is the
+	// probe and readmission follows.
+	failing.Store(false)
+	time.Sleep(350 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for g.backends[0].breaker.State() != BreakerClosed {
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never closed; state %v", g.backends[0].breaker.State())
+		}
+		if st, _, _ := postGW(t, ts.URL, reqJSON(1, "fft", 1)); st != 200 {
+			t.Fatalf("request during recovery: status %d", st)
+		}
+	}
+	if n := g.metrics.BreakerTransitions(); n < 3 {
+		t.Errorf("breaker transitions = %d, want >= 3 (trip, probe, close)", n)
+	}
+}
+
+// TestSaturationCooldown: a backend's 429 Retry-After becomes a routing
+// cooldown — the next request goes elsewhere without burning an attempt on
+// the saturated shard.
+func TestSaturationCooldown(t *testing.T) {
+	busy := newStubBackend(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "60")
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+	})
+	good := newStubBackend(ok200(`{"ok":true}` + "\n"))
+	defer busy.ts.Close()
+	defer good.ts.Close()
+	g := newTestGateway(t, Options{Policy: "round-robin"}, busy, good)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	if st, _, _ := postGW(t, ts.URL, reqJSON(1, "fft", 1)); st != 200 {
+		t.Fatalf("first request not masked")
+	}
+	if busy.runs.Load() != 1 {
+		t.Fatalf("busy backend saw %d requests, want 1", busy.runs.Load())
+	}
+	// The breaker must NOT have tripped — saturation is not ill health.
+	if got := g.backends[0].breaker.State(); got != BreakerClosed {
+		t.Fatalf("breaker %v after 429, want closed", got)
+	}
+	// Round-robin would start at the busy backend again, but the cooldown
+	// steers around it with zero extra attempts.
+	st, h, _ := postGW(t, ts.URL, reqJSON(2, "fft", 1))
+	if st != 200 || h.Get("X-Agcmgw-Attempts") != "1" {
+		t.Fatalf("cooldown not honored: status %d attempts %s", st, h.Get("X-Agcmgw-Attempts"))
+	}
+	if busy.runs.Load() != 1 {
+		t.Fatalf("saturated backend was retried during its Retry-After window")
+	}
+}
+
+// TestRetryBudgetBoundsAmplification: with every backend failing, the
+// token bucket caps total retries no matter how many requests arrive.
+func TestRetryBudgetBoundsAmplification(t *testing.T) {
+	b1 := newStubBackend(always503)
+	b2 := newStubBackend(always503)
+	defer b1.ts.Close()
+	defer b2.ts.Close()
+	g := newTestGateway(t, Options{
+		Policy:     "round-robin",
+		RetryMax:   4,
+		RetryRatio: 0.1,
+		RetryBurst: 3,
+	}, b1, b2)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		st, _, _ := postGW(t, ts.URL, reqJSON(1, "fft", 1))
+		if st != http.StatusServiceUnavailable && st != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status %d, want 503/429", i, st)
+		}
+	}
+	// Budget bound: burst (3) + deposits (n × 0.1 = 2) = 5 retries max.
+	maxRetries := uint64(3 + n/10)
+	if got := g.metrics.Retries(); got > maxRetries {
+		t.Fatalf("retries = %d, want <= %d (budget must bound amplification)", got, maxRetries)
+	}
+	if g.metrics.Request("shed") != n {
+		t.Errorf("shed = %d, want %d", g.metrics.Request("shed"), n)
+	}
+	attempts := b1.runs.Load() + b2.runs.Load()
+	if attempts > int64(n)+int64(maxRetries) {
+		t.Fatalf("backends saw %d attempts for %d requests: amplification", attempts, n)
+	}
+}
+
+// TestDegradedServeFromAnyCache: when no backend can run the job, a cached
+// copy anywhere in the cluster still answers — 200, marked degraded.
+func TestDegradedServeFromAnyCache(t *testing.T) {
+	down := newStubBackend(always503)
+	holder := newStubBackend(always503)
+	cached := `{"key":"abc","report":{"total_s_day":1}}` + "\n"
+	holder.cached.Store(&cached)
+	defer down.ts.Close()
+	defer holder.ts.Close()
+	g := newTestGateway(t, Options{Policy: "key-affinity", RetryMax: 1, RetryBurst: 1, RetryRatio: 0.01}, down, holder)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	st, h, body := postGW(t, ts.URL, reqJSON(1, "fft", 1))
+	if st != 200 {
+		t.Fatalf("status %d, want 200 (degraded serve): %s", st, body)
+	}
+	if h.Get("X-Agcmgw-Degraded") != "1" {
+		t.Errorf("missing X-Agcmgw-Degraded header")
+	}
+	if string(body) != cached {
+		t.Errorf("degraded body %q, want the cached bytes", body)
+	}
+	if g.metrics.Request("degraded") != 1 {
+		t.Errorf("degraded counter = %d, want 1", g.metrics.Request("degraded"))
+	}
+}
+
+// TestHedgingRacesSecondShard: a high-priority request on a slow primary is
+// hedged onto the next shard after the hedge delay, and the faster response
+// wins.
+func TestHedgingRacesSecondShard(t *testing.T) {
+	slowBody := `{"who":"slow"}` + "\n"
+	fastBody := `{"who":"fast"}` + "\n"
+	release := make(chan struct{})
+	slow := newStubBackend(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		io.WriteString(w, slowBody)
+	})
+	fast := newStubBackend(ok200(fastBody))
+	defer slow.ts.Close()
+	defer fast.ts.Close()
+	defer close(release)
+
+	// Make the slow stub the deterministic primary: key-affinity ranks by
+	// (url, key), so find a filter whose key lands on it.
+	g := newTestGateway(t, Options{Policy: "key-affinity", HedgeDelay: 5 * time.Millisecond}, slow, fast)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	slowIdx := 0
+	if g.backends[0].url != slow.ts.URL {
+		slowIdx = 1
+	}
+	body := ""
+	for px := 1; px <= 16; px++ {
+		cand := fmt.Sprintf(`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon",`+
+			`"mesh_py":1,"mesh_px":%d,"filter":"fft"},"steps":1,"priority":"high"}`, px)
+		key := keyForBody(t, cand)
+		if g.policy.Order(key, g.backends)[0] == slowIdx {
+			body = cand
+			break
+		}
+	}
+	if body == "" {
+		t.Fatal("no candidate key ranked the slow backend first")
+	}
+
+	st, _, raw := postGW(t, ts.URL, body)
+	if st != 200 {
+		t.Fatalf("status %d: %s", st, raw)
+	}
+	if string(raw) != fastBody {
+		t.Fatalf("winner body %q, want the hedged shard's %q", raw, fastBody)
+	}
+	if g.metrics.Hedge("launched") != 1 || g.metrics.Hedge("won") != 1 {
+		t.Errorf("hedges launched/won = %d/%d, want 1/1",
+			g.metrics.Hedge("launched"), g.metrics.Hedge("won"))
+	}
+}
+
+// keyForBody computes the job key the way the gateway does.
+func keyForBody(t *testing.T, body string) string {
+	t.Helper()
+	var req request
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := core.ConfigFromCanonicalJSON(req.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := server.JobKeyFor(cfg, req.Steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestProbeEjectionAndReadmission: the active prober flips a backend's
+// ready bit on /readyz failures and back on recovery, steering traffic
+// without waiting for request failures.
+func TestProbeEjectionAndReadmission(t *testing.T) {
+	a := newStubBackend(ok200(`{"who":"a"}` + "\n"))
+	b := newStubBackend(ok200(`{"who":"b"}` + "\n"))
+	defer a.ts.Close()
+	defer b.ts.Close()
+	g := newTestGateway(t, Options{Policy: "round-robin", ProbeInterval: 5 * time.Millisecond}, a, b)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	a.ready.Store(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for g.backends[0].ready.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never ejected the not-ready backend")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	before := a.runs.Load()
+	for i := 0; i < 4; i++ {
+		if st, _, _ := postGW(t, ts.URL, reqJSON(1, "fft", 1)); st != 200 {
+			t.Fatalf("request while ejected: %d", st)
+		}
+	}
+	if got := a.runs.Load(); got != before {
+		t.Fatalf("not-ready backend received %d requests", got-before)
+	}
+
+	a.ready.Store(true)
+	deadline = time.Now().Add(2 * time.Second)
+	for !g.backends[0].ready.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never readmitted the recovered backend")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestGatewayRejectsGarbageAtTheEdge: invalid requests never reach a
+// backend.
+func TestGatewayRejectsGarbageAtTheEdge(t *testing.T) {
+	b := newStubBackend(ok200(`{"ok":true}` + "\n"))
+	defer b.ts.Close()
+	g := newTestGateway(t, Options{}, b)
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	for i, c := range []string{
+		`{`,
+		`{"steps":1}`,
+		`{"config":{"machine":"nope","nlon":36,"nlat":24,"nlayers":3,"mesh_py":1,"mesh_px":1}}`,
+		`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon","mesh_py":1,"mesh_px":1},"steps":-2}`,
+		`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon","mesh_py":1,"mesh_px":1},"priority":"zz"}`,
+	} {
+		if st, _, _ := postGW(t, ts.URL, c); st != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400", i, st)
+		}
+	}
+	if b.runs.Load() != 0 {
+		t.Errorf("garbage reached a backend")
+	}
+	if g.metrics.Request("rejected") != 5 {
+		t.Errorf("rejected = %d, want 5", g.metrics.Request("rejected"))
+	}
+}
+
+// TestMetricsDeterministicEmission: two scrapes of identical state are
+// byte-identical (sorted labels, fixed family order).
+func TestMetricsDeterministicEmission(t *testing.T) {
+	m := newGatewayMetrics()
+	m.IncRequest("ok")
+	m.IncRequest("shed")
+	m.IncBackendResponse("http://b", 200)
+	m.IncBackendResponse("http://a", 503)
+	m.IncBackendError("http://a")
+	m.IncBreakerTransition("http://a", "closed->open")
+	m.IncRetry()
+	m.IncHedge("launched")
+	m.IncProbe(true)
+	g := gatewayGauges{
+		Backends: []backendGauges{
+			{ID: "http://a", State: BreakerOpen, Ready: false, Inflight: 1},
+			{ID: "http://b", State: BreakerClosed, Ready: true, Inflight: 0},
+		},
+		BudgetTokens: 7.5,
+	}
+	var buf1, buf2 strings.Builder
+	m.WriteText(&buf1, g)
+	m.WriteText(&buf2, g)
+	if buf1.String() != buf2.String() {
+		t.Fatal("two scrapes of identical state differ")
+	}
+	for _, want := range []string{
+		`agcmgw_requests_total{result="ok"} 1`,
+		`agcmgw_backend_responses_total{backend="http://a",code="503"} 1`,
+		`agcmgw_breaker_transitions_total{backend="http://a",transition="closed->open"} 1`,
+		`agcmgw_backend_state{backend="http://a"} 1`,
+		`agcmgw_retry_budget_tokens 7.5`,
+	} {
+		if !strings.Contains(buf1.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, buf1.String())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testBackends(n int) []*backend {
+	bs := make([]*backend, n)
+	for i := range bs {
+		id := fmt.Sprintf("http://backend-%d:8080", i)
+		bs[i] = newBackend(id, id, newBreaker(3, time.Second, nil))
+	}
+	return bs
+}
+
+// TestKeyAffinityDeterministicAndStable: rendezvous hashing ranks backends
+// identically for the same key across calls and across policy instances,
+// and different keys actually spread across the cluster.
+func TestKeyAffinityDeterministicAndStable(t *testing.T) {
+	bs := testBackends(4)
+	p1, p2 := &keyAffinity{}, &keyAffinity{}
+	primaries := make(map[int]int)
+	for k := 0; k < 64; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		o1 := p1.Order(key, bs)
+		o2 := p2.Order(key, bs)
+		if len(o1) != len(bs) {
+			t.Fatalf("order has %d entries, want %d", len(o1), len(bs))
+		}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("key %q: two instances rank differently: %v vs %v", key, o1, o2)
+			}
+		}
+		if o3 := p1.Order(key, bs); o3[0] != o1[0] {
+			t.Fatalf("key %q: primary changed between calls", key)
+		}
+		primaries[o1[0]]++
+	}
+	if len(primaries) < 3 {
+		t.Errorf("64 keys landed on only %d of 4 backends: %v", len(primaries), primaries)
+	}
+}
+
+// TestKeyAffinitySpilloverIsMinimal: removing the top-ranked backend must
+// not reorder the rest — the runner-up inherits the key and every other
+// key's ranking is untouched.  This is the rendezvous property that makes
+// failover cheap: only the dead shard's keys move.
+func TestKeyAffinitySpilloverIsMinimal(t *testing.T) {
+	bs := testBackends(5)
+	p := &keyAffinity{}
+	for k := 0; k < 32; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		full := p.Order(key, bs)
+		// Re-rank without the primary: the surviving backends' relative
+		// order must be exactly the full ranking with the primary deleted.
+		without := make([]*backend, 0, len(bs)-1)
+		for i, b := range bs {
+			if i != full[0] {
+				without = append(without, b)
+			}
+		}
+		reduced := p.Order(key, without)
+		wantIdx := 0
+		for _, idx := range full[1:] {
+			// Map the full-ranking index onto the reduced slice.
+			ri := idx
+			if idx > full[0] {
+				ri = idx - 1
+			}
+			if reduced[wantIdx] != ri {
+				t.Fatalf("key %q: reduced ranking %v does not preserve full ranking %v", key, reduced, full)
+			}
+			wantIdx++
+		}
+	}
+}
+
+// TestRoundRobinRotates: successive requests start at successive backends.
+func TestRoundRobinRotates(t *testing.T) {
+	bs := testBackends(3)
+	p := &roundRobin{}
+	for want := 0; want < 6; want++ {
+		o := p.Order("ignored", bs)
+		if o[0] != want%3 {
+			t.Fatalf("request %d started at %d, want %d", want, o[0], want%3)
+		}
+		for i := 1; i < len(o); i++ {
+			if o[i] != (o[0]+i)%3 {
+				t.Fatalf("request %d: order %v is not a rotation", want, o)
+			}
+		}
+	}
+}
+
+// TestLeastInflightPrefersIdle: the backend with the fewest in-flight
+// requests ranks first; ties break by index for determinism.
+func TestLeastInflightPrefersIdle(t *testing.T) {
+	bs := testBackends(3)
+	bs[0].inflight.Store(5)
+	bs[1].inflight.Store(1)
+	bs[2].inflight.Store(3)
+	p := &leastInflight{}
+	o := p.Order("ignored", bs)
+	if o[0] != 1 || o[1] != 2 || o[2] != 0 {
+		t.Fatalf("order = %v, want [1 2 0]", o)
+	}
+	bs[0].inflight.Store(1)
+	o = p.Order("ignored", bs)
+	if o[0] != 0 || o[1] != 1 {
+		t.Fatalf("tied order = %v, want index order [0 1 2]", o)
+	}
+}

@@ -1,0 +1,84 @@
+package gateway
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// retryBudget is the global token bucket that keeps retries from amplifying
+// an outage.  Every accepted request deposits ratio tokens (capped at
+// burst); every retry or hedge withdraws one whole token.  The retry volume
+// is therefore bounded by ratio × traffic + burst no matter how badly the
+// backends misbehave — when the budget is dry the gateway fails fast with
+// whatever it has instead of piling on.
+type retryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	burst  float64
+}
+
+func newRetryBudget(ratio, burst float64) *retryBudget {
+	// Start full: a cold gateway may retry its very first request.
+	return &retryBudget{tokens: burst, ratio: ratio, burst: burst}
+}
+
+// Deposit credits the budget for one accepted request.
+func (b *retryBudget) Deposit() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// Tokens returns the balance (a /metrics gauge).
+func (b *retryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Take withdraws one retry token, reporting false when the budget is dry.
+func (b *retryBudget) Take() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// backoff computes retry pacing: exponential in the attempt number with
+// deterministic-seeded jitter, so two gateways started with the same seed
+// and fed the same sequence produce the same delays (and tests can pin
+// them).
+type backoff struct {
+	mu   sync.Mutex
+	rng  *rand.Rand
+	base time.Duration
+	cap  time.Duration
+}
+
+func newBackoff(base, cap time.Duration, seed int64) *backoff {
+	return &backoff{rng: rand.New(rand.NewSource(seed)), base: base, cap: cap}
+}
+
+// Delay returns the pause before retry number retry (1-based): base·2^(r−1)
+// plus up to 50% jitter, clamped to the cap.
+func (b *backoff) Delay(retry int) time.Duration {
+	d := b.base << uint(retry-1)
+	if d <= 0 || d > b.cap {
+		d = b.cap
+	}
+	b.mu.Lock()
+	j := time.Duration(b.rng.Int63n(int64(d)/2 + 1))
+	b.mu.Unlock()
+	if d+j > b.cap {
+		return b.cap
+	}
+	return d + j
+}

@@ -13,8 +13,10 @@
 // matter how many clients ask, and every response for a key is byte-
 // identical — the cached bytes are the worker's bytes.
 //
-// Observability: /metrics (Prometheus text format), /healthz, and graceful
-// drain — Drain stops admission, finishes accepted work, then returns.
+// Observability: /metrics (Prometheus text format), /healthz (liveness),
+// /readyz (readiness — not-ready while draining, so a fronting gateway
+// stops routing here before shutdown completes), and graceful drain —
+// Drain stops admission, finishes accepted work, then returns.
 package server
 
 import (
@@ -54,6 +56,10 @@ type Options struct {
 	// MaxSteps rejects requests asking for more measured steps (0 = no
 	// limit): a guard against a single request monopolizing a worker.
 	MaxSteps int
+	// BackendID, when set, is stamped on every response as the
+	// X-Agcmd-Backend header so a fronting gateway and its load tools can
+	// attribute responses to cluster members.
+	BackendID string
 	// Runner executes simulations; nil means core.RunContext.  Tests
 	// substitute blockers and counters.
 	Runner Runner
@@ -126,14 +132,22 @@ func New(opt Options) *Server {
 // single-flight and cache tests' run counter.
 func (s *Server) Runs() int64 { return s.runs.Load() }
 
-// Handler returns the daemon's HTTP mux: POST /v1/run, GET /healthz,
-// GET /metrics.
+// Handler returns the daemon's HTTP mux: POST /v1/run, GET /v1/cache/{key},
+// GET /healthz, GET /readyz, GET /metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/run", s.handleRun)
+	mux.HandleFunc("/v1/cache/", s.handleCachePeek)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	return mux
+	if s.opt.BackendID == "" {
+		return mux
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Agcmd-Backend", s.opt.BackendID)
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Drain performs the graceful-shutdown sequence: refuse new requests,
@@ -438,13 +452,50 @@ func (s *Server) worker() {
 	}
 }
 
+// handleHealthz is the liveness probe: "is the process up?"  It stays 200
+// through a drain — the process is alive and still answering accepted
+// work — so an orchestrator does not kill a draining daemon early.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// handleReadyz is the readiness probe: "should new traffic be routed
+// here?"  A draining server reports not-ready immediately, before SIGTERM
+// completes, so a fronting gateway stops routing while accepted jobs
+// finish.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	io.WriteString(w, "ok\n")
+	io.WriteString(w, "ready\n")
+}
+
+// handleCachePeek serves GET /v1/cache/{key}: the cached response body for
+// a job key, or 404.  It never runs a simulation and keeps working during a
+// drain — it is the gateway's graceful-degradation path (any backend that
+// has the bytes can answer for a saturated or dying shard).
+func (s *Server) handleCachePeek(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody("GET only"))
+		return
+	}
+	key := r.URL.Path[len("/v1/cache/"):]
+	if key == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody("missing key"))
+		return
+	}
+	body, ok := s.cache.Get(key)
+	if !ok {
+		s.metrics.IncRequest("peek_miss")
+		writeJSON(w, http.StatusNotFound, errorBody("not cached"))
+		return
+	}
+	s.metrics.IncRequest("peek_hit")
+	w.Header().Set("X-Agcmd-Cache", "peek")
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math/rand"
@@ -259,8 +260,22 @@ func TestLoadShedding(t *testing.T) {
 	<-done
 }
 
+// getStatus fetches a path and returns the status code.
+func getStatus(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
 // TestDrain: SIGTERM semantics — accepted jobs (running and queued) finish
 // and are answered, new requests are refused, Drain returns once idle.
+// It also pins the drain sequence the gateway depends on: liveness
+// (/healthz) stays 200 throughout while readiness (/readyz) flips to 503
+// the moment draining begins, before accepted jobs have finished.
 func TestDrain(t *testing.T) {
 	release := make(chan struct{})
 	s := New(Options{
@@ -292,6 +307,14 @@ func TestDrain(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
+	// Before draining: live and ready.
+	if st := getStatus(t, ts.URL+"/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz before drain: %d, want 200", st)
+	}
+	if st := getStatus(t, ts.URL+"/readyz"); st != http.StatusOK {
+		t.Fatalf("readyz before drain: %d, want 200", st)
+	}
+
 	drained := make(chan error, 1)
 	go func() { drained <- s.Drain(context.Background()) }()
 	// Drain must flip the door immediately, while jobs are still pending.
@@ -302,13 +325,14 @@ func TestDrain(t *testing.T) {
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("request during drain: status %d, want 503", status)
 	}
-	resp, err := http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	// While accepted jobs are still pending the process is alive (liveness
+	// 200) but must already advertise not-ready (readiness 503), so the
+	// gateway stops routing here before the drain completes.
+	if st := getStatus(t, ts.URL+"/healthz"); st != http.StatusOK {
+		t.Fatalf("healthz during drain: %d, want 200 (liveness is not readiness)", st)
 	}
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	if st := getStatus(t, ts.URL+"/readyz"); st != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during drain: %d, want 503", st)
 	}
 
 	close(release) // let the accepted jobs finish
@@ -553,6 +577,70 @@ func TestBadRequests(t *testing.T) {
 	}
 	if s.Runs() != 0 {
 		t.Errorf("bad requests must not run simulations")
+	}
+}
+
+// TestCachePeekAndBackendID: GET /v1/cache/{key} replays a cached body
+// without running anything, responses carry the configured backend ID, and
+// the peek path keeps answering during a drain (the gateway's degraded-mode
+// dependency).
+func TestCachePeekAndBackendID(t *testing.T) {
+	s := New(Options{Workers: 1, BackendID: "b7"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := reqJSON([2]int{1, 2}, "fft", 1)
+	st, h, b := postRun(t, ts.URL, body)
+	if st != 200 {
+		t.Fatalf("run status %d: %s", st, b)
+	}
+	if got := h.Get("X-Agcmd-Backend"); got != "b7" {
+		t.Fatalf("X-Agcmd-Backend = %q, want b7", got)
+	}
+	var parsed struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(b, &parsed); err != nil || parsed.Key == "" {
+		t.Fatalf("response has no key: %v", err)
+	}
+
+	peek := func(key string) (int, http.Header, []byte) {
+		resp, err := http.Get(ts.URL + "/v1/cache/" + key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header, raw
+	}
+
+	st2, h2, b2 := peek(parsed.Key)
+	if st2 != 200 {
+		t.Fatalf("peek status %d: %s", st2, b2)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatalf("peek bytes differ from the original response")
+	}
+	if got := h2.Get("X-Agcmd-Cache"); got != "peek" {
+		t.Errorf("peek disposition %q, want peek", got)
+	}
+	if st3, _, _ := peek(strings.Repeat("0", 64)); st3 != http.StatusNotFound {
+		t.Errorf("peek of uncached key: status %d, want 404", st3)
+	}
+	if runs := s.Runs(); runs != 1 {
+		t.Errorf("Runs() = %d, want 1 (peek must not run)", runs)
+	}
+
+	// Peek keeps working during (and after) a drain.
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st4, _, b4 := peek(parsed.Key)
+	if st4 != 200 || !bytes.Equal(b, b4) {
+		t.Errorf("peek during drain: status %d (want 200, identical bytes)", st4)
 	}
 }
 
