@@ -42,6 +42,22 @@ func TestSendaliasFixtures(t *testing.T) {
 	analysistest.Run(t, analysis.Sendalias, "./testdata/src/sendalias")
 }
 
+func TestLockorderFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.Lockorder, "./testdata/src/lockorder")
+}
+
+func TestGoleakFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.Goleak, "./testdata/src/goleak")
+}
+
+func TestCtxflowFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.Ctxflow, "./testdata/src/ctxflow")
+}
+
+func TestWgmisuseFixtures(t *testing.T) {
+	analysistest.Run(t, analysis.Wgmisuse, "./testdata/src/wgmisuse")
+}
+
 // checkSource type-checks an import-free source snippet and runs the given
 // analyzers over it via the framework (exercising the //lint:allow plumbing
 // without the go list round trip).

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Ctxflow checks that cancellation actually propagates.  The serving stack
+// threads per-job deadlines from HTTP request contexts down into
+// core.RunContext, and the gateway's hedging/retry machinery relies on
+// context cancellation to kill losers — a dropped or ignored context turns
+// "cancel" into "keep burning a worker".  Three rules:
+//
+//   - a function that receives a context must not manufacture a fresh root
+//     with context.Background()/TODO(): that drops the caller's deadline and
+//     cancellation (shadowing an incoming ctx with a fresh root is the same
+//     bug);
+//   - elsewhere in scoped packages, context.Background()/TODO() marks a
+//     lifecycle root and must be annotated: request-scoped code derives from
+//     the caller, and the annotation forces each root to document who
+//     cancels it (the gateway's root is canceled in Close; the server's
+//     workers deliberately outlive disconnected clients);
+//   - a context-carrying function must not ignore its context while
+//     blocking: http.NewRequest/Get/Post/Head (use NewRequestWithContext —
+//     checked in closures too, which capture the enclosing ctx), and bare
+//     channel sends/receives outside a multi-case select (add a ctx.Done()
+//     case, or annotate why the wait is bounded).
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc: `flag dropped contexts, context-free roots, and blocking ops that ignore ctx.Done()
+
+Functions holding a context.Context must thread it: no fresh
+context.Background()/TODO() roots, no context-free HTTP constructors, no
+bare blocking channel operations without a ctx.Done() escape.  Lifecycle
+roots outside request scope must be annotated.  Suppress with
+//lint:allow ctxflow <reason>.`,
+	Run: runCtxflow,
+}
+
+// funcUnit is one function declaration or literal with its context
+// visibility resolved.
+type funcUnit struct {
+	ftype  *ast.FuncType
+	body   *ast.BlockStmt
+	ownCtx bool // has a context.Context parameter itself
+	anyCtx bool // ownCtx, or a lexically enclosing function has one
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "context" && obj.Name() == "Context"
+}
+
+func hasCtxParam(info *types.Info, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if t := info.TypeOf(field.Type); t != nil && isContextType(t) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxflow(pass *Pass) error {
+	if !concurrencyInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var units []*funcUnit
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					units = append(units, &funcUnit{ftype: n.Type, body: n.Body, ownCtx: hasCtxParam(pass.TypesInfo, n.Type)})
+				}
+			case *ast.FuncLit:
+				units = append(units, &funcUnit{ftype: n.Type, body: n.Body, ownCtx: hasCtxParam(pass.TypesInfo, n.Type)})
+			}
+			return true
+		})
+		// A literal nested in a ctx-carrying function captures that ctx.
+		for _, u := range units {
+			u.anyCtx = u.ownCtx
+			for _, outer := range units {
+				if outer.ownCtx && outer.body.Pos() < u.body.Pos() && u.body.End() <= outer.body.End() {
+					u.anyCtx = true
+				}
+			}
+		}
+		for _, u := range units {
+			checkCtxUnit(pass, u)
+		}
+	}
+	return nil
+}
+
+// ctxFreeHTTPFuncs are net/http package functions that issue or build a
+// request without a context.
+var ctxFreeHTTPFuncs = map[string]string{
+	"NewRequest": "http.NewRequestWithContext",
+	"Get":        "http.NewRequestWithContext + Client.Do",
+	"Post":       "http.NewRequestWithContext + Client.Do",
+	"PostForm":   "http.NewRequestWithContext + Client.Do",
+	"Head":       "http.NewRequestWithContext + Client.Do",
+}
+
+func checkCtxUnit(pass *Pass, u *funcUnit) {
+	escaped := selectEscapes(u.body)
+	inspectSkippingFuncLits(u.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := packageQualifier(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch pkg {
+			case "context":
+				if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+					if u.anyCtx {
+						pass.Reportf(n.Pos(),
+							"context.%s drops the context already in scope: the caller's deadline and cancellation no longer reach this work; derive from the incoming ctx",
+							sel.Sel.Name)
+					} else {
+						pass.Reportf(n.Pos(),
+							"context.%s creates an unrooted context in request-scoped code: derive from a caller's ctx, or annotate the lifecycle root with //lint:allow ctxflow <who cancels it>",
+							sel.Sel.Name)
+					}
+				}
+			case "net/http":
+				if u.anyCtx {
+					if repl, ok := ctxFreeHTTPFuncs[sel.Sel.Name]; ok {
+						pass.Reportf(n.Pos(),
+							"http.%s ignores the context in scope: the request cannot be canceled; use %s",
+							sel.Sel.Name, repl)
+					}
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || !u.ownCtx {
+				return true
+			}
+			if escaped[n.Pos()] || isDoneChannel(pass.TypesInfo, n.X) || isTimeDerived(pass.TypesInfo, n.X) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"blocking receive from %s ignores this function's ctx: a canceled caller keeps waiting; add a ctx.Done() select case or annotate why the wait is bounded",
+				types.ExprString(n.X))
+		case *ast.SendStmt:
+			if !u.ownCtx || escaped[n.Pos()] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"blocking send on %s ignores this function's ctx: a canceled caller keeps waiting; add a ctx.Done() select case, buffer the channel, or annotate why the send cannot block",
+				types.ExprString(n.Chan))
+		}
+		return true
+	})
+}

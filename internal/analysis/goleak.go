@@ -1,0 +1,372 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// Goleak flags `go` launches whose goroutine has no termination path.  The
+// gateway and server lean hard on short-lived goroutines — hedge attempts,
+// hedge-loser reapers, probe loops, drain waiters — and a goroutine that can
+// outlive its owner keeps touching breakers, metrics and transports after
+// Close has returned.  Three shapes are checked, all positional:
+//
+//   - an infinite `for` loop (no condition) containing no return, no break
+//     that targets it, and no goto: the goroutine can never exit;
+//   - a blocking receive with no escape hatch: a bare `<-ch` (or a
+//     single-case select) where ch is not a context's Done channel, not
+//     time-derived, and not closed anywhere in the package — if the sender
+//     is abandoned, the goroutine leaks;
+//   - a send on a channel the spawning function makes unbuffered (or with
+//     fewer slots than spawned senders): if the receiver gives up, the
+//     sender blocks forever.
+//
+// A receive inside a select with a second case or a default always counts as
+// having an escape hatch, as does receiving from a channel some function in
+// the package closes (close(g.stop) in Close anchors every `<-g.stop`).
+// Goroutines with finite bodies terminate on their own and are never
+// flagged; whether their completion is *awaited* is wgmisuse's and the
+// owners' business.
+var Goleak = &Analyzer{
+	Name: "goleak",
+	Doc: `flag goroutines with no termination path
+
+A goroutine must be able to exit: infinite loops need a return or break,
+blocking receives need a second select case / a close signal / a context
+Done channel, and sends from spawned goroutines need enough buffer for
+every spawned sender.  Suppress provable false positives with
+//lint:allow goleak <reason>.`,
+	Run: runGoleak,
+}
+
+func runGoleak(pass *Pass) error {
+	if !concurrencyInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	closed := closedChannels(pass)
+	decls := declBodies(pass)
+	for _, file := range pass.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			inspectSkippingFuncLits(body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				var target *ast.BlockStmt
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					target = lit.Body
+				} else if fn := staticCallee(pass.TypesInfo, g.Call); fn != nil {
+					target = decls[fn]
+				}
+				if target != nil {
+					checkGoroutineBody(pass, target, body, closed)
+				}
+				return false // the literal's own GoStmts are found via its funcBodies visit
+			})
+		})
+	}
+	return nil
+}
+
+// declBodies maps every function declared in the package to its body.
+func declBodies(pass *Pass) map[*types.Func]*ast.BlockStmt {
+	out := make(map[*types.Func]*ast.BlockStmt)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					out[fn] = fd.Body
+				}
+			}
+		}
+	}
+	return out
+}
+
+// chanClass names a channel expression for matching receives against closes:
+// field channels by (owner type, field), everything else by rendering.
+func chanClass(info *types.Info, e ast.Expr) string {
+	if sel, ok := e.(*ast.SelectorExpr); ok {
+		if owner := namedTypeName(info, sel.X); owner != "" {
+			return owner + "." + sel.Sel.Name
+		}
+	}
+	return types.ExprString(e)
+}
+
+// closedChannels collects the class of every channel some function in the
+// package closes: receiving from one of these is receiving a teardown
+// signal.
+func closedChannels(pass *Pass) map[string]bool {
+	out := make(map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "close" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("close") {
+				out[chanClass(pass.TypesInfo, call.Args[0])] = true
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isDoneChannel reports whether e is a call to a Done method from package
+// context (ctx.Done()): receiving from it is the canonical stop signal.
+func isDoneChannel(info *types.Info, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Name() == "context"
+}
+
+// isTimeDerived reports whether the channel expression comes from the time
+// package (time.After(...), time.Tick(...), ticker.C, timer.C): these fire
+// on their own, so a receive does not block forever.
+func isTimeDerived(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok {
+			if pkg, ok := packageQualifier(info, sel); ok && pkg == "time" {
+				return true
+			}
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "C" {
+			owner := namedTypeName(info, e.X)
+			return owner == "Ticker" || owner == "Timer"
+		}
+	}
+	return false
+}
+
+// checkGoroutineBody applies the three leak rules to one spawned body.
+// spawner is the function body containing the `go` statement (used to find
+// the make() of channels the goroutine sends on).
+func checkGoroutineBody(pass *Pass, body, spawner *ast.BlockStmt, closed map[string]bool) {
+	escaped := selectEscapes(body)
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested launch is its own goroutine
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopCanExit(n) {
+				pass.Reportf(n.Pos(),
+					"goroutine never exits: infinite for loop with no return, break, or goto; give it a stop signal (ctx.Done() or a closed channel) and a return")
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW {
+				return true
+			}
+			if escaped[n.Pos()] || isDoneChannel(pass.TypesInfo, n.X) || isTimeDerived(pass.TypesInfo, n.X) {
+				return true
+			}
+			if closed[chanClass(pass.TypesInfo, n.X)] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"goroutine blocks on <-%s with no escape hatch: no second select case, no close signal in this package, not a context Done channel; if the sender is abandoned this goroutine leaks",
+				types.ExprString(n.X))
+		case *ast.SendStmt:
+			if escaped[n.Pos()] {
+				return true
+			}
+			if ch, ok := n.Chan.(*ast.Ident); ok {
+				// Only reason about channels whose make() is visible in the
+				// spawning function; anything else is out of positional
+				// reach and stays unflagged.
+				if buf, sends, known := chanBudget(pass, ch, spawner); known && buf < sends {
+					pass.Reportf(n.Pos(),
+						"goroutine sends on %s, which has %d buffered slot(s) for %d spawned sender(s): if the receiver gives up, the send blocks forever; buffer the channel for all senders or select on a stop signal",
+						ch.Name, buf, sends)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectEscapes records the position of every channel operation sitting in
+// the comm clause of a select with a second case or a default: those have an
+// escape hatch and are fine.  Single-case selects give no escape and their
+// ops stay unmarked.
+func selectEscapes(body *ast.BlockStmt) map[token.Pos]bool {
+	escaped := make(map[token.Pos]bool)
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, c := range sel.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if len(sel.Body.List) < 2 && !hasDefault {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			ast.Inspect(cc.Comm, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.UnaryExpr:
+					if m.Op == token.ARROW {
+						escaped[m.Pos()] = true
+					}
+				case *ast.SendStmt:
+					escaped[m.Pos()] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return escaped
+}
+
+// loopCanExit reports whether an infinite `for` loop's body contains any way
+// out: a return, a goto, a panic, a labeled break, or an unlabeled break not
+// consumed by a nested for/select/switch.
+func loopCanExit(loop *ast.ForStmt) bool {
+	var stmtExits func(s ast.Stmt, breakable bool) bool
+	listExits := func(list []ast.Stmt, breakable bool) bool {
+		for _, s := range list {
+			if stmtExits(s, breakable) {
+				return true
+			}
+		}
+		return false
+	}
+	stmtExits = func(s ast.Stmt, breakable bool) bool {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.GOTO:
+				return true
+			case token.BREAK:
+				return breakable || s.Label != nil
+			}
+			return false
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					return true
+				}
+			}
+			return false
+		case *ast.BlockStmt:
+			return listExits(s.List, breakable)
+		case *ast.IfStmt:
+			if stmtExits(s.Body, breakable) {
+				return true
+			}
+			if s.Else != nil {
+				return stmtExits(s.Else, breakable)
+			}
+			return false
+		case *ast.LabeledStmt:
+			return stmtExits(s.Stmt, breakable)
+		case *ast.ForStmt:
+			return stmtExits(s.Body, false)
+		case *ast.RangeStmt:
+			return stmtExits(s.Body, false)
+		case *ast.SelectStmt:
+			return listExits(s.Body.List, false)
+		case *ast.SwitchStmt:
+			return listExits(s.Body.List, false)
+		case *ast.TypeSwitchStmt:
+			return listExits(s.Body.List, false)
+		case *ast.CaseClause:
+			return listExits(s.Body, breakable)
+		case *ast.CommClause:
+			return listExits(s.Body, breakable)
+		}
+		return false
+	}
+	return stmtExits(loop.Body, true)
+}
+
+// chanBudget looks for `name := make(chan T, N)` in the spawning function
+// and counts how many `go` statements there send on name, returning the
+// buffer size, the sender count, and whether both were found.
+func chanBudget(pass *Pass, ch *ast.Ident, spawner *ast.BlockStmt) (buf, sends int, known bool) {
+	obj := pass.TypesInfo.Uses[ch]
+	if obj == nil {
+		return 0, 0, false
+	}
+	found := false
+	inspectSkippingFuncLits(spawner, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || pass.TypesInfo.Defs[id] != obj && pass.TypesInfo.Uses[id] != obj {
+				continue
+			}
+			if i >= len(assign.Rhs) {
+				continue
+			}
+			call, ok := assign.Rhs[i].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "make" || pass.TypesInfo.Uses[fn] != types.Universe.Lookup("make") {
+				continue
+			}
+			found = true
+			if len(call.Args) >= 2 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[1]]; ok && tv.Value != nil {
+					if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+						buf = int(v)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !found {
+		return 0, 0, false
+	}
+	ast.Inspect(spawner, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				send, ok := m.(*ast.SendStmt)
+				if !ok {
+					return true
+				}
+				if id, ok := send.Chan.(*ast.Ident); ok {
+					if pass.TypesInfo.Uses[id] == obj {
+						sends++
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return buf, sends, true
+}

@@ -1,0 +1,414 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lockorder machine-checks the serving stack's lock discipline.  The server
+// deliberately does cache lookup, single-flight registration and admission
+// under one lock (internal/server: flightMu -> cacheShard.mu / queue.mu), and
+// the gateway splits breaker state from gateway state; both invariants only
+// hold while every code path acquires the mutexes in one global order.
+//
+// The analyzer builds a per-package acquisition graph: an edge A -> B is
+// recorded whenever a lock of class B is acquired (directly, or by a called
+// same-package function) while a lock of class A is held.  A lock's class is
+// (owning struct type, field name) — e.g. Server.flightMu — so the graph is
+// about lock *disciplines*, not instances.  Cycles in the graph mean two
+// goroutines can acquire the same pair of locks in opposite orders and
+// deadlock.
+//
+// It also flags the two local hazards that produce stuck-forever goroutines
+// in review after review: re-acquiring a mutex the function already holds
+// (self-deadlock), and returning — typically on an error path — while a lock
+// is still held with no deferred unlock covering it.
+//
+// The tracking is positional (no CFG): statements are interpreted in source
+// order, `go` statements are skipped (a spawned goroutine does not inherit
+// the spawner's holds — sim's watchdog hands mailbox teardown to
+// `go closeAll()` precisely to avoid holding w.mu across mailbox locks), and
+// both `defer mu.Unlock()` and the deferred-closure form
+// `defer func() { mu.Unlock(); ... }()` (the gateway breaker's
+// notify-outside-lock idiom) mark the hold as covered.
+var Lockorder = &Analyzer{
+	Name: "lockorder",
+	Doc: `flag mutex-acquisition cycles, self-deadlocks, and locks leaked on early returns
+
+Builds a per-package graph of which lock classes are acquired while which
+others are held (including one call level deep) and reports cycles: two
+paths acquiring the same locks in opposite orders deadlock under
+concurrency.  Also reports acquiring a mutex already held by the same
+function and return statements that leave a lock held with no deferred
+unlock.  Suppress provable false positives with
+//lint:allow lockorder <reason>.`,
+	Run: runLockorder,
+}
+
+// mutexMethod reports whether call is a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex (including one embedded in a local struct),
+// returning the method name and the receiver expression.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (string, ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil, false
+	}
+	obj, _ := info.Uses[sel.Sel].(*types.Func)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Name() != "sync" {
+		return "", nil, false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", nil, false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return "", nil, false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", nil, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return sel.Sel.Name, sel.X, true
+	}
+	return "", nil, false
+}
+
+// namedTypeName returns the name of e's named type after stripping pointers,
+// or "".
+func namedTypeName(info *types.Info, e ast.Expr) string {
+	t := info.TypeOf(e)
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// lockClass names the discipline a lock belongs to: for a field mutex
+// (s.flightMu) it is "OwnerType.field", for an embedded mutex it is the
+// outer type name, and for a plain variable it is the variable's rendering.
+func lockClass(info *types.Info, recv ast.Expr) string {
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if owner := namedTypeName(info, sel.X); owner != "" {
+			return owner + "." + sel.Sel.Name
+		}
+		return types.ExprString(recv)
+	}
+	if t := namedTypeName(info, recv); t != "" && t != "Mutex" && t != "RWMutex" {
+		return t // embedded mutex: x.Lock() where x's type embeds sync.Mutex
+	}
+	return types.ExprString(recv)
+}
+
+// staticCallee resolves a call to the *types.Func it statically invokes, or
+// nil for indirect calls and builtins.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// heldLock is one acquisition the positional walk believes is live.
+type heldLock struct {
+	expr     string // receiver rendering — instance identity within the function
+	class    string
+	pos      token.Pos
+	deferred bool // a deferred Unlock covers this hold
+	reported bool // already flagged at a return; don't re-flag at body end
+}
+
+func runLockorder(pass *Pass) error {
+	if !concurrencyInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	summaries := lockSummaries(pass)
+	// graph[A][B] = position of the first site acquiring class B while class
+	// A was held.
+	graph := make(map[string]map[string]token.Pos)
+	addEdge := func(from, to string, pos token.Pos) {
+		m := graph[from]
+		if m == nil {
+			m = make(map[string]token.Pos)
+			graph[from] = m
+		}
+		if _, ok := m[to]; !ok {
+			m[to] = pos
+		}
+	}
+	for _, file := range pass.Files {
+		funcBodies(file, func(body *ast.BlockStmt) {
+			checkLockBody(pass, body, summaries, addEdge)
+		})
+	}
+	reportLockCycles(pass, graph)
+	return nil
+}
+
+// lockSummaries computes, for every function declared in the package, the
+// set of lock classes it may acquire — directly or through same-package
+// callees (a fixpoint over the call graph).  `go` and `defer` subtrees are
+// excluded: a spawned goroutine's acquisitions do not happen on the caller's
+// stack.
+func lockSummaries(pass *Pass) map[*types.Func]map[string]token.Pos {
+	acquired := make(map[*types.Func]map[string]token.Pos)
+	callees := make(map[*types.Func][]*types.Func)
+	var fns []*types.Func
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			fns = append(fns, fn)
+			acq := make(map[string]token.Pos)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit, *ast.GoStmt, *ast.DeferStmt:
+					return false
+				case *ast.CallExpr:
+					if m, recv, ok := mutexMethod(pass.TypesInfo, n); ok {
+						if m == "Lock" || m == "RLock" {
+							c := lockClass(pass.TypesInfo, recv)
+							if _, seen := acq[c]; !seen {
+								acq[c] = n.Pos()
+							}
+						}
+					} else if callee := staticCallee(pass.TypesInfo, n); callee != nil && callee.Pkg() == pass.Pkg {
+						callees[fn] = append(callees[fn], callee)
+					}
+				}
+				return true
+			})
+			acquired[fn] = acq
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			for _, callee := range callees[fn] {
+				for c, pos := range acquired[callee] {
+					// Keep the smallest position per class so the result is
+					// independent of map iteration order.
+					if old, ok := acquired[fn][c]; !ok || pos < old {
+						acquired[fn][c] = pos
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return acquired
+}
+
+// checkLockBody interprets one function body in source order, tracking held
+// locks, reporting local hazards, and feeding the acquisition graph.
+func checkLockBody(pass *Pass, body *ast.BlockStmt, summaries map[*types.Func]map[string]token.Pos, addEdge func(from, to string, pos token.Pos)) {
+	var held []heldLock
+	pop := func(expr string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].expr == expr {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+	markDeferred := func(expr string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].expr == expr {
+				held[i].deferred = true
+				return
+			}
+		}
+	}
+	line := func(p token.Pos) int { return pass.Fset.Position(p).Line }
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own body by funcBodies
+		case *ast.GoStmt:
+			return false // the goroutine does not inherit the spawner's holds
+		case *ast.DeferStmt:
+			if m, recv, ok := mutexMethod(pass.TypesInfo, n.Call); ok && (m == "Unlock" || m == "RUnlock") {
+				markDeferred(types.ExprString(recv))
+			} else if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				// defer func() { mu.Unlock(); notify() }() — the
+				// unlock-then-notify idiom.
+				ast.Inspect(lit.Body, func(inner ast.Node) bool {
+					if call, ok := inner.(*ast.CallExpr); ok {
+						if m, recv, ok := mutexMethod(pass.TypesInfo, call); ok && (m == "Unlock" || m == "RUnlock") {
+							markDeferred(types.ExprString(recv))
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.ReturnStmt:
+			for i := range held {
+				if !held[i].deferred {
+					pass.Reportf(n.Pos(),
+						"return while %s (locked at line %d) is still held and no deferred unlock covers it: this path leaks the lock",
+						held[i].expr, line(held[i].pos))
+					held[i].reported = true
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			if m, recv, ok := mutexMethod(pass.TypesInfo, n); ok {
+				expr := types.ExprString(recv)
+				switch m {
+				case "Lock", "RLock":
+					for _, h := range held {
+						if h.expr == expr {
+							pass.Reportf(n.Pos(),
+								"%s.%s while %s is already held (locked at line %d): self-deadlock",
+								expr, m, expr, line(h.pos))
+							return true
+						}
+					}
+					class := lockClass(pass.TypesInfo, recv)
+					for _, h := range held {
+						addEdge(h.class, class, n.Pos())
+					}
+					held = append(held, heldLock{expr: expr, class: class, pos: n.Pos()})
+				case "Unlock", "RUnlock":
+					pop(expr)
+				}
+				return true
+			}
+			if len(held) > 0 {
+				if callee := staticCallee(pass.TypesInfo, n); callee != nil && callee.Pkg() == pass.Pkg {
+					for c := range summaries[callee] {
+						for _, h := range held {
+							addEdge(h.class, c, n.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, h := range held {
+		if !h.deferred && !h.reported {
+			pass.Reportf(h.pos,
+				"%s is still held when the function ends and no deferred unlock covers it", h.expr)
+		}
+	}
+}
+
+// reportLockCycles finds cycles in the acquisition graph via DFS (sorted
+// neighbor order, so reports are deterministic) and reports each once, at
+// the position of its lexically canonical first edge.
+func reportLockCycles(pass *Pass, graph map[string]map[string]token.Pos) {
+	nodes := make([]string, 0, len(graph))
+	for n := range graph {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	neighbors := func(u string) []string {
+		vs := make([]string, 0, len(graph[u]))
+		for v := range graph[u] {
+			vs = append(vs, v)
+		}
+		sort.Strings(vs)
+		return vs
+	}
+	const (
+		white = iota
+		gray
+		black
+	)
+	color := make(map[string]int)
+	seen := make(map[string]bool)
+	var path []string
+	var dfs func(u string)
+	dfs = func(u string) {
+		color[u] = gray
+		path = append(path, u)
+		for _, v := range neighbors(u) {
+			switch color[v] {
+			case gray:
+				for i := len(path) - 1; i >= 0; i-- {
+					if path[i] == v {
+						reportCycle(pass, graph, append([]string(nil), path[i:]...), seen)
+						break
+					}
+				}
+			case white:
+				dfs(v)
+			}
+		}
+		path = path[:len(path)-1]
+		color[u] = black
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			dfs(n)
+		}
+	}
+}
+
+func reportCycle(pass *Pass, graph map[string]map[string]token.Pos, cycle []string, seen map[string]bool) {
+	// Canonical rotation: smallest class first, so the same cycle found from
+	// different DFS roots is reported once.
+	minAt := 0
+	for i, c := range cycle {
+		if c < cycle[minAt] {
+			minAt = i
+		}
+	}
+	rot := append(append([]string(nil), cycle[minAt:]...), cycle[:minAt]...)
+	key := strings.Join(rot, "->")
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	at := func(p token.Pos) string {
+		pos := pass.Fset.Position(p)
+		return filepath.Base(pos.Filename) + ":" + strconv.Itoa(pos.Line)
+	}
+	if len(rot) == 1 {
+		pos := graph[rot[0]][rot[0]]
+		pass.Reportf(pos,
+			"lock class %s is acquired while another %s is held: nested same-class acquisition has no provable order; release the first lock or document a total order with //lint:allow lockorder <reason>",
+			rot[0], rot[0])
+		return
+	}
+	var edges []string
+	for i, from := range rot {
+		to := rot[(i+1)%len(rot)]
+		edges = append(edges, from+" -> "+to+" at "+at(graph[from][to]))
+	}
+	pass.Reportf(graph[rot[0]][rot[1]],
+		"lock-order cycle %s -> %s (%s): opposite acquisition orders deadlock under concurrency",
+		strings.Join(rot, " -> "), rot[0], strings.Join(edges, ", "))
+}

@@ -1,6 +1,11 @@
 package analysis
 
-// All returns agcmlint's analyzer suite in reporting order.
+// All returns agcmlint's analyzer suite in reporting order: the
+// simulation-protocol analyzers from PR 2 first, then the
+// concurrency-correctness suite guarding the serving stack.
 func All() []*Analyzer {
-	return []*Analyzer{Nondeterm, Commtag, Collective, Sendalias}
+	return []*Analyzer{
+		Nondeterm, Commtag, Collective, Sendalias,
+		Lockorder, Goleak, Ctxflow, Wgmisuse,
+	}
 }

@@ -1,0 +1,84 @@
+// Package ctxflow is the analysistest fixture for the ctxflow analyzer:
+// dropped contexts, unannotated lifecycle roots, context-free HTTP
+// constructors, and blocking channel operations that ignore ctx.Done().
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// DropsCtx manufactures a fresh root while a context is in scope: the
+// caller's deadline and cancellation no longer reach the work.
+func DropsCtx(ctx context.Context) error {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `context\.Background drops the context already in scope`
+	defer cancel()
+	return work(c)
+}
+
+// Threads derives properly from the incoming context.
+func Threads(ctx context.Context) error {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(c)
+}
+
+// Unrooted creates a root outside request scope without documenting who
+// cancels it.
+func Unrooted() context.Context {
+	return context.Background() // want `unrooted context in request-scoped code`
+}
+
+// Root is the documented lifecycle shape (the gateway's rootCtx idiom).
+func Root() context.Context {
+	//lint:allow ctxflow fixture lifecycle root: canceled by Close in the owning daemon
+	return context.Background()
+}
+
+// HTTPNoCtx builds a request that can never be canceled.
+func HTTPNoCtx(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want `http\.NewRequest ignores the context in scope`
+}
+
+// HTTPInClosure shows that closures capture the enclosing function's ctx.
+func HTTPInClosure(ctx context.Context, url string) {
+	fetch := func() {
+		http.Get(url) // want `http\.Get ignores the context in scope`
+	}
+	fetch()
+}
+
+// HTTPWithCtx is the right shape.
+func HTTPWithCtx(ctx context.Context, url string) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, "GET", url, nil)
+}
+
+// BareRecv keeps waiting after the caller cancels.
+func BareRecv(ctx context.Context, ch chan int) int {
+	return <-ch // want `blocking receive from ch ignores this function's ctx`
+}
+
+// SelectRecv has the ctx.Done() escape hatch.
+func SelectRecv(ctx context.Context, ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case <-ctx.Done():
+		return 0
+	}
+}
+
+// BareSend blocks a canceled caller.
+func BareSend(ctx context.Context, ch chan int) {
+	ch <- 1 // want `blocking send on ch ignores this function's ctx`
+}
+
+// BoundedRecv documents why its wait cannot outlive the context by much
+// (the hedging pattern: every sender is deadline-bound).
+func BoundedRecv(ctx context.Context, ch chan int) int {
+	//lint:allow ctxflow every producer is bounded by AttemptTimeout, so the receive cannot block indefinitely
+	return <-ch
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

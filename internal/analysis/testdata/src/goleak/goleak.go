@@ -1,0 +1,110 @@
+// Package goleak is the analysistest fixture for the goleak analyzer:
+// goroutines with no termination path — infinite loops without an exit,
+// blocking receives with no escape hatch, and sends without buffer space for
+// every spawned sender.
+package goleak
+
+import (
+	"context"
+	"time"
+)
+
+type owner struct {
+	stop chan struct{}
+}
+
+// Close closes the stop channel: every `<-o.stop` in the package is thereby
+// a teardown signal, not a leak.
+func (o *owner) Close() { close(o.stop) }
+
+// SpinForever launches a goroutine that can never exit.
+func SpinForever() {
+	go func() {
+		for { // want `goroutine never exits: infinite for loop`
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// Stoppable is the same periodic shape done right: the ticker loop selects
+// on the owner's stop channel and returns.
+func (o *owner) Stoppable() {
+	go func() {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-o.stop:
+				return
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+// BareReceive blocks on a channel nothing in the package closes: an
+// abandoned sender leaks this goroutine.
+func BareReceive(ch chan int) {
+	go func() {
+		<-ch // want `goroutine blocks on <-ch with no escape hatch`
+	}()
+}
+
+// ClosedReceive is fine: Close closes o.stop.
+func (o *owner) ClosedReceive() {
+	go func() {
+		<-o.stop
+	}()
+}
+
+// CtxReceive is fine: a context's Done channel is the canonical stop signal.
+func CtxReceive(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// UnbufferedSend can block forever once the receiver takes the default
+// branch and walks away.
+func UnbufferedSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1 // want `has 0 buffered slot\(s\) for 1 spawned sender\(s\)`
+	}()
+	select {
+	case <-ch:
+	default:
+	}
+}
+
+// BufferedSend reserves one slot per spawned sender (the hedging pattern:
+// cap 2, two attempts); neither send can block.
+func BufferedSend() int {
+	ch := make(chan int, 2)
+	go func() { ch <- 1 }()
+	go func() { ch <- 2 }()
+	return <-ch
+}
+
+// RunPump is an infinite pump launched as a named function: the launch site
+// resolves the declaration and the loop is still caught.
+func RunPump(ch chan int) {
+	for { // want `goroutine never exits: infinite for loop`
+		ch <- 0
+	}
+}
+
+func StartPump(ch chan int) {
+	go RunPump(ch)
+}
+
+// Detached is a deliberate fire-and-forget pump; the leak report is
+// suppressed with a documented reason.
+func Detached(ch chan int) {
+	go func() {
+		//lint:allow goleak process-lifetime pump: it dies with the binary, by design
+		for {
+			ch <- 0
+		}
+	}()
+}

@@ -1,0 +1,136 @@
+// Package lockorder is the analysistest fixture for the lockorder analyzer:
+// acquisition-order cycles, self-deadlocks, and locks leaked on early
+// returns.  Classes A/B form a direct cycle, E/F a cycle through a callee's
+// summary, C/D prove `go` statements break the held-context, and shard
+// exercises nested same-class acquisition.
+package lockorder
+
+import (
+	"errors"
+	"sync"
+)
+
+type A struct{ mu sync.Mutex }
+type B struct{ mu sync.Mutex }
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+type shard struct {
+	mu sync.Mutex
+	n  int
+}
+
+// LockAB and LockBA acquire the same two classes in opposite orders: the
+// canonical deadlock.  The cycle is reported once, at the A.mu -> B.mu edge.
+func LockAB(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want `lock-order cycle A\.mu -> B\.mu -> A\.mu`
+	defer b.mu.Unlock()
+}
+
+func LockBA(a *A, b *B) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+// Merge nests two instances of one class with no provable order.
+func Merge(x, y *shard) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want `lock class shard\.mu is acquired while another shard\.mu is held`
+	defer y.mu.Unlock()
+	x.n += y.n
+}
+
+// EarlyReturn leaks the lock on the error path.
+func (a *A) EarlyReturn(fail bool) error {
+	a.mu.Lock()
+	if fail {
+		return errors.New("leaks the lock") // want `return while a\.mu \(locked at line \d+\) is still held`
+	}
+	a.mu.Unlock()
+	return nil
+}
+
+// Double re-acquires a mutex the function already holds.
+func (a *A) Double() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want `self-deadlock`
+}
+
+// NotifyOutsideLock uses the deferred-closure unlock idiom (the gateway
+// breaker's shape); the hold is covered, nothing is reported.
+func (a *A) NotifyOutsideLock(observe func()) {
+	a.mu.Lock()
+	defer func() {
+		a.mu.Unlock()
+		observe()
+	}()
+}
+
+// ManualUnlockPaths unlocks explicitly on every path before returning (the
+// admission-queue Push shape); nothing is reported.
+func (a *A) ManualUnlockPaths(full bool) bool {
+	a.mu.Lock()
+	if full {
+		a.mu.Unlock()
+		return false
+	}
+	a.mu.Unlock()
+	return true
+}
+
+// WithHelper acquires F.mu through a same-package callee while holding E.mu;
+// Reverse takes them in the opposite order directly.  The interprocedural
+// summary closes the cycle.
+func (e *E) WithHelper(f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	LockF(f) // want `lock-order cycle E\.mu -> F\.mu -> E\.mu`
+}
+
+func LockF(f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}
+
+func Reverse(e *E, f *F) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+// LockDC orders D.mu before C.mu; SpawnD hands D work to a goroutine while
+// holding C.mu.  The spawned goroutine starts with no holds (sim's watchdog
+// relies on exactly this to break w.mu -> mailbox.mu), so no C.mu -> D.mu
+// edge exists and no cycle is reported.
+func LockDC(c *C, d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+}
+
+func SpawnD(c *C, d *D) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	go LockD(d)
+}
+
+func LockD(d *D) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+}
+
+// Handoff transfers lock ownership to a consumer that unlocks it; the leak
+// report is suppressed with a documented reason.
+func (a *A) Handoff() {
+	a.mu.Lock() //lint:allow lockorder ownership transfers to the consumer registered in Double's queue, which unlocks
+}

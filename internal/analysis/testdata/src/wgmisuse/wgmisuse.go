@@ -1,0 +1,66 @@
+// Package wgmisuse is the analysistest fixture for the wgmisuse analyzer:
+// WaitGroup.Add inside the spawned goroutine, Done not deferred, and
+// WaitGroups copied by value.
+package wgmisuse
+
+import "sync"
+
+// AddInside races Wait: the waiter can observe the counter before the
+// goroutine has run its Add.
+func AddInside(wg *sync.WaitGroup) {
+	go func() {
+		wg.Add(1) // want `WaitGroup\.Add inside the spawned goroutine races Wait`
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// DoneNotDeferred leaves Wait stuck if work panics.
+func DoneNotDeferred(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		wg.Done() // want `WaitGroup\.Done is not deferred`
+	}()
+}
+
+// Correct is the joinable shape: Add before go, Done deferred inside.
+func Correct(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// ByValueParam receives a copy: Add/Done here never reach the caller's Wait.
+func ByValueParam(wg sync.WaitGroup) { // want `parameter receives a sync\.WaitGroup by value`
+	wg.Wait()
+}
+
+// ByValueCall passes the copy in.
+func ByValueCall() {
+	var wg sync.WaitGroup
+	ByValueParam(wg) // want `call passes a sync\.WaitGroup by value`
+	wg.Wait()
+}
+
+// ByValueAssign copies via assignment.
+func ByValueAssign() {
+	var wg sync.WaitGroup
+	wg2 := wg // want `assignment copies a sync\.WaitGroup`
+	wg2.Wait()
+}
+
+// AllowedDone is a documented phase barrier: Done deliberately marks a
+// mid-body milestone.
+func AllowedDone(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		work()
+		//lint:allow wgmisuse phase barrier: Done marks the warm-up milestone, not goroutine exit
+		wg.Done()
+	}()
+}
+
+func work() {}

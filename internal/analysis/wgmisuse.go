@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Wgmisuse flags the three sync.WaitGroup mistakes that turn a clean
+// drain/Close into a race or a hang.  The server's Drain and the gateway's
+// Close both join goroutines through WaitGroups, so the protocol — Add
+// before `go`, Done deferred inside, never copy the WaitGroup — is part of
+// the shutdown contract:
+//
+//   - Add called inside the spawned goroutine races Wait: the waiter can
+//     observe the counter before the goroutine ran Add and return early;
+//   - Done not deferred: a panic (or an early return added later) between
+//     the goroutine's start and its Done leaves Wait stuck forever;
+//   - a WaitGroup passed or assigned by value: Add/Done act on the copy and
+//     are invisible to Wait on the original.
+var Wgmisuse = &Analyzer{
+	Name: "wgmisuse",
+	Doc: `flag WaitGroup.Add inside the spawned goroutine, non-deferred Done, and copies
+
+Add must happen before the go statement, Done must be deferred first thing
+inside the goroutine, and WaitGroups must be passed by pointer.  Suppress
+with //lint:allow wgmisuse <reason>.`,
+	Run: runWgmisuse,
+}
+
+func isWaitGroup(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func runWgmisuse(pass *Pass) error {
+	if !concurrencyInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		checkWgCopies(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+				checkSpawnedWgBody(pass, lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpawnedWgBody checks Add/Done discipline inside one go-launched
+// function literal.
+func checkSpawnedWgBody(pass *Pass, body *ast.BlockStmt) {
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // a nested launch is checked at its own go statement
+		case *ast.DeferStmt:
+			// defer wg.Done() (or a deferred closure calling it) is the
+			// correct shape; nothing inside a defer is a violation.
+			return false
+		case *ast.CallExpr:
+			switch m, _ := methodOn(pass.TypesInfo, n, "sync", "WaitGroup", "Add", "Done"); m {
+			case "Add":
+				pass.Reportf(n.Pos(),
+					"WaitGroup.Add inside the spawned goroutine races Wait: the waiter can pass before this Add runs; move the Add before the go statement")
+			case "Done":
+				pass.Reportf(n.Pos(),
+					"WaitGroup.Done is not deferred: a panic or early return before this line leaves Wait stuck; make it `defer` first thing in the goroutine")
+			}
+		}
+		return true
+	})
+}
+
+// checkWgCopies flags sync.WaitGroup values passed by value: as parameters,
+// as call arguments, or via assignment.
+func checkWgCopies(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			checkWgParams(pass, n.Type)
+		case *ast.FuncLit:
+			checkWgParams(pass, n.Type)
+		case *ast.AssignStmt:
+			if n.Tok != token.ASSIGN && n.Tok != token.DEFINE {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if _, isComposite := rhs.(*ast.CompositeLit); isComposite {
+					continue // wg := sync.WaitGroup{} constructs, not copies
+				}
+				if t := pass.TypesInfo.TypeOf(rhs); t != nil && isWaitGroup(t) {
+					pass.Reportf(rhs.Pos(),
+						"assignment copies a sync.WaitGroup: Add/Done on the copy are invisible to Wait on the original; use a pointer")
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if _, isComposite := arg.(*ast.CompositeLit); isComposite {
+					continue
+				}
+				if t := pass.TypesInfo.TypeOf(arg); t != nil && isWaitGroup(t) {
+					pass.Reportf(arg.Pos(),
+						"call passes a sync.WaitGroup by value: Add/Done in the callee act on a copy; pass &%s",
+						types.ExprString(arg))
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkWgParams(pass *Pass, ftype *ast.FuncType) {
+	if ftype.Params == nil {
+		return
+	}
+	for _, field := range ftype.Params.List {
+		if t := pass.TypesInfo.TypeOf(field.Type); t != nil && isWaitGroup(t) {
+			pass.Reportf(field.Pos(),
+				"parameter receives a sync.WaitGroup by value: Add/Done here act on a copy invisible to the caller's Wait; take *sync.WaitGroup")
+		}
+	}
+}

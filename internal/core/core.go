@@ -282,6 +282,7 @@ var categories = []string{"filter", "dynamics-fd", "dynamics-comm", "physics"}
 // the simulated machine and returns per-component timings extrapolated to
 // seconds per simulated day.
 func Run(cfg Config, measuredSteps int) (*Report, error) {
+	//lint:allow ctxflow Run is the deliberately deadline-free entry point; callers needing cancellation use RunContext
 	return RunContext(context.Background(), cfg, measuredSteps)
 }
 

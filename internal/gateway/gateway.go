@@ -150,8 +150,13 @@ type Gateway struct {
 	events   *eventLog
 	lat      *latencyRing
 
-	stop    chan struct{}
-	stopped sync.WaitGroup
+	// rootCtx is the gateway's lifecycle context: probes and hedge attempts
+	// derive from it, so rootCancel in Close kills every in-flight request
+	// the gateway owns (a client's canceled request already kills its own).
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+	stop       chan struct{}
+	stopped    sync.WaitGroup
 }
 
 // New builds a Gateway over the configured backends and starts its health
@@ -166,16 +171,20 @@ func New(opt Options) (*Gateway, error) {
 		return nil, fmt.Errorf("gateway: unknown policy %q (want %s)",
 			opt.Policy, strings.Join(PolicyNames(), ", "))
 	}
+	//lint:allow ctxflow gateway lifecycle root: rootCancel runs in Close, killing every probe and hedge the gateway owns
+	rootCtx, rootCancel := context.WithCancel(context.Background())
 	g := &Gateway{
-		opt:     opt,
-		policy:  pol,
-		budget:  newRetryBudget(opt.RetryRatio, opt.RetryBurst),
-		backoff: newBackoff(opt.BackoffBase, opt.BackoffCap, opt.Seed),
-		metrics: newGatewayMetrics(),
-		client:  &http.Client{Transport: opt.Transport},
-		events:  &eventLog{w: opt.Events},
-		lat:     &latencyRing{},
-		stop:    make(chan struct{}),
+		opt:        opt,
+		policy:     pol,
+		budget:     newRetryBudget(opt.RetryRatio, opt.RetryBurst),
+		backoff:    newBackoff(opt.BackoffBase, opt.BackoffCap, opt.Seed),
+		metrics:    newGatewayMetrics(),
+		client:     &http.Client{Transport: opt.Transport},
+		events:     &eventLog{w: opt.Events},
+		lat:        &latencyRing{},
+		rootCtx:    rootCtx,
+		rootCancel: rootCancel,
+		stop:       make(chan struct{}),
 	}
 	seen := make(map[string]bool, len(opt.Backends))
 	for _, raw := range opt.Backends {
@@ -203,8 +212,14 @@ func New(opt Options) (*Gateway, error) {
 	return g, nil
 }
 
-// Close stops the health prober and releases idle connections.
+// Close stops the health prober, cancels every probe and hedge goroutine
+// the gateway owns, waits for all of them to exit, and releases idle
+// connections.  After Close returns, no gateway goroutine touches metrics,
+// breakers, or the transport again.  Stop accepting requests before calling
+// Close: requests already in flight are joined, but a request arriving
+// during Close races the join.
 func (g *Gateway) Close() {
+	g.rootCancel()
 	close(g.stop)
 	g.stopped.Wait()
 	if t, ok := g.opt.Transport.(*http.Transport); ok {
@@ -620,12 +635,23 @@ func (g *Gateway) hedged(ctx context.Context, key string, body []byte) (*attempt
 	}
 	hctx, hcancel := context.WithCancel(ctx)
 	defer hcancel()
+	// Tie the hedge to the gateway's lifecycle: Close cancels rootCtx, which
+	// cancels both attempts, so the goroutines below — all tracked in
+	// g.stopped — exit promptly and Close's Wait can join them.
+	unbind := context.AfterFunc(g.rootCtx, hcancel)
+	defer unbind()
 	type outcome struct {
 		res *attemptResult
 		idx int
 	}
+	// Two slots: one per attempt, so neither send can block after this
+	// function stops receiving.
 	ch := make(chan outcome, 2)
-	go func() { ch <- outcome{g.attempt(hctx, b1, probe1, body), idx1} }()
+	g.stopped.Add(1)
+	go func() {
+		defer g.stopped.Done()
+		ch <- outcome{g.attempt(hctx, b1, probe1, body), idx1}
+	}()
 
 	timer := time.NewTimer(g.hedgeDelay())
 	defer timer.Stop()
@@ -640,13 +666,19 @@ func (g *Gateway) hedged(ctx context.Context, key string, body []byte) (*attempt
 		if b2 != nil {
 			b2.breaker.Forgive(probe2)
 		}
+		//lint:allow ctxflow bounded wait: the attempt is deadline-bound by AttemptTimeout and canceled through hctx on both caller cancel and Close
 		out := <-ch
 		return out.res, out.idx
 	}
 	g.metrics.IncHedge("launched")
 	g.events.Emit("hedge", b2.id, key)
-	go func() { ch <- outcome{g.attempt(hctx, b2, probe2, body), idx2} }()
+	g.stopped.Add(1)
+	go func() {
+		defer g.stopped.Done()
+		ch <- outcome{g.attempt(hctx, b2, probe2, body), idx2}
+	}()
 
+	//lint:allow ctxflow bounded wait: both attempts are deadline-bound by AttemptTimeout and canceled through hctx on both caller cancel and Close
 	out := <-ch
 	hcancel() // the loser's attempt sees context.Canceled and is forgiven
 	if out.idx == idx2 {
@@ -654,11 +686,20 @@ func (g *Gateway) hedged(ctx context.Context, key string, body []byte) (*attempt
 	}
 	// Reap the loser off the buffered channel; completed-but-discarded
 	// responses count as lost hedges (they appear in the backend's own
-	// counters, which reconciliation must subtract).
+	// counters, which reconciliation must subtract).  The reaper is joined
+	// by Close: without the g.stop case it would linger until the loser's
+	// attempt timed out on its own, touching metrics after Close returned.
+	g.stopped.Add(1)
 	go func() {
-		lost := <-ch
-		if lost.res != nil && !lost.res.canceled && lost.res.err == nil {
-			g.metrics.IncHedge("lost")
+		defer g.stopped.Done()
+		select {
+		case lost := <-ch:
+			if lost.res != nil && !lost.res.canceled && lost.res.err == nil {
+				g.metrics.IncHedge("lost")
+			}
+		case <-g.stop:
+			// Close is joining us; the loser is being canceled via rootCtx
+			// and its discarded verdict no longer matters.
 		}
 	}()
 	return out.res, out.idx
@@ -719,7 +760,10 @@ func (g *Gateway) prober() {
 }
 
 func (g *Gateway) probeOne(b *backend) {
-	ctx, cancel := context.WithTimeout(context.Background(), g.opt.ProbeTimeout)
+	// Probes derive from the gateway's lifecycle context, not a fresh root:
+	// Close must not block up to ProbeTimeout behind a probe of a slow or
+	// dead backend.
+	ctx, cancel := context.WithTimeout(g.rootCtx, g.opt.ProbeTimeout)
 	defer cancel()
 	ok := false
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/readyz", nil)
@@ -730,6 +774,11 @@ func (g *Gateway) probeOne(b *backend) {
 			resp.Body.Close()
 			ok = resp.StatusCode == http.StatusOK
 		}
+	}
+	if g.rootCtx.Err() != nil {
+		// The gateway is shutting down: this probe was canceled mid-flight
+		// and its verdict says nothing about the backend.
+		return
 	}
 	g.metrics.IncProbe(ok)
 	if prev := b.ready.Swap(ok); prev != ok {

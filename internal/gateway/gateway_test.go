@@ -1,6 +1,7 @@
 package gateway
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -476,5 +477,164 @@ func TestMetricsDeterministicEmission(t *testing.T) {
 		if !strings.Contains(buf1.String(), want) {
 			t.Errorf("metrics missing %q:\n%s", want, buf1.String())
 		}
+	}
+}
+
+// TestCloseCancelsInflightHedgeAttempts is the regression test for the
+// goleak finding on the hedge path: the two attempt goroutines and the
+// loser-reaper used to be invisible to Close — it returned while they were
+// still blocked on backends, holding the client's context as their only way
+// out.  Close must now cancel both in-flight attempts (through the gateway's
+// root context) and join all three goroutines before returning.
+func TestCloseCancelsInflightHedgeAttempts(t *testing.T) {
+	var reqN, canceledN atomic.Int64
+	// The first two /v1/run requests — the primary and its hedge — stall
+	// until the server sees their context canceled; anything after (the
+	// retry following Close) succeeds immediately so the client goroutine
+	// finishes fast.
+	stall := func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body so net/http starts its background connection read;
+		// without it the server never notices the client abort and
+		// r.Context() is never canceled.
+		io.Copy(io.Discard, r.Body)
+		if reqN.Add(1) <= 2 {
+			<-r.Context().Done()
+			canceledN.Add(1)
+			return
+		}
+		io.WriteString(w, `{"who":"late"}`+"\n")
+	}
+	b1 := newStubBackend(stall)
+	b2 := newStubBackend(stall)
+	defer b1.ts.Close()
+	defer b2.ts.Close()
+
+	g, err := New(Options{
+		Backends:       []string{b1.ts.URL, b2.ts.URL},
+		Policy:         "round-robin",
+		ProbeInterval:  -1,
+		HedgeDelay:     time.Millisecond,
+		AttemptTimeout: 30 * time.Second,
+		BackoffBase:    time.Millisecond,
+		BackoffCap:     2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	defer ts.Close()
+
+	body := `{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon",` +
+		`"mesh_py":1,"mesh_px":1,"filter":"fft"},"steps":1,"priority":"high"}`
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/run", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if resp, err := http.DefaultClient.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+
+	// Wait until the hedge is launched and both attempts are parked on the
+	// backends.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.metrics.Hedge("launched") < 1 || reqN.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("hedge never got in flight: launched=%d backends hit=%d",
+				g.metrics.Hedge("launched"), reqN.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closed := make(chan struct{})
+	go func() {
+		g.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close did not return while hedge attempts were in flight")
+	}
+
+	// Close's root-context cancellation must have reached both parked
+	// attempts — well before the client's own 20s context could.
+	deadline = time.Now().Add(2 * time.Second)
+	for canceledN.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("after Close, %d of 2 in-flight hedge attempts were canceled; the goroutines leaked past Close",
+				canceledN.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-clientDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client request did not finish after Close")
+	}
+}
+
+// TestCloseDoesNotAwaitSlowProbe is the regression test for the ctxflow
+// finding in probeOne: probes derived from context.Background(), so Close —
+// which joins the prober — blocked for up to ProbeTimeout behind a probe of
+// a slow or dead backend.  With probes derived from the gateway's root
+// context, Close cancels the in-flight probe and returns immediately.
+func TestCloseDoesNotAwaitSlowProbe(t *testing.T) {
+	probeStarted := make(chan struct{}, 1)
+	var probeCanceled atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case probeStarted <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done()
+		probeCanceled.Add(1)
+	})
+	slow := httptest.NewServer(mux)
+	defer slow.Close()
+
+	g, err := New(Options{
+		Backends:      []string{slow.URL},
+		ProbeInterval: 2 * time.Millisecond,
+		ProbeTimeout:  30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-probeStarted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("prober never issued a probe")
+	}
+
+	start := time.Now()
+	closed := make(chan struct{})
+	go func() {
+		g.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(3 * time.Second):
+		t.Fatal("Close blocked behind an in-flight probe of a slow backend")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Close took %v, must not wait out ProbeTimeout", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for probeCanceled.Load() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("the in-flight probe was never canceled by Close")
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -416,6 +416,7 @@ func (s *Server) worker() {
 			return
 		}
 		s.inflight.Add(1)
+		//lint:allow ctxflow deliberate root: an accepted job runs to completion for the cache even after every waiting client disconnects; the per-job Timeout still bounds it
 		ctx, cancel := context.WithTimeout(context.Background(), job.Timeout)
 		start := time.Now()
 		rep, err := s.opt.Runner(ctx, job.Config, job.Steps)

@@ -461,6 +461,7 @@ func (r *Result) Categories() []string {
 // cancellation (CanceledError, RunContext only), then the first rank's own
 // error or panic, then shutdown-victim errors.
 func (m *Machine) Run(body func(p *Proc) error) (*Result, error) {
+	//lint:allow ctxflow Run is the deliberately deadline-free entry point; callers needing cancellation use RunContext
 	return m.RunContext(context.Background(), body)
 }
 
