@@ -223,12 +223,15 @@ func main() {
 	}
 }
 
+// writeCheckpoint writes the frame-encoded checkpoint format.  -load-state
+// sniffs the magic, so checkpoints written by older builds (the legacy
+// "AGMH" stream) still restore.
 func writeCheckpoint(path string, file *history.File) {
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
-	if err := history.Write(f, file, history.BigEndian); err != nil {
+	if err := history.WriteFrame(f, file); err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {

@@ -25,6 +25,8 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	benchJSON := flag.String("bench-json", "",
 		"run the host benchmark suite and write the JSON report to this file ('-' for stdout)")
+	bench8JSON := flag.String("bench8-json", "",
+		"run the frame-format and disk-tier benchmark suite and write the JSON report to this file ('-' for stdout)")
 	topologyStr := flag.String("topology", "",
 		"route every run over an interconnect model: auto, mesh[:XxY], torus[:XxYxZ], switch")
 	placementStr := flag.String("placement", "",
@@ -40,6 +42,10 @@ func main() {
 	}
 	if *benchJSON != "" {
 		writeBenchJSON(*benchJSON)
+		return
+	}
+	if *bench8JSON != "" {
+		writeBench8JSON(*bench8JSON)
 		return
 	}
 	opt := experiments.Options{
@@ -84,6 +90,29 @@ func main() {
 // as indented JSON.
 func writeBenchJSON(path string) {
 	rep := bench.NewReport()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// writeBench8JSON runs the frame-format and disk-tier measurements —
+// cache-hit cost, binary-versus-JSON codec comparisons, cold-versus-warm
+// restart latency — as indented JSON.
+func writeBench8JSON(path string) {
+	rep, err := bench.NewBench8Report()
+	if err != nil {
+		fatal(err)
+	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)

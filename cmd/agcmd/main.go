@@ -40,22 +40,29 @@ func main() {
 	maxSteps := flag.Int("max-steps", 0, "reject requests asking for more measured steps (0 = no limit)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long to wait for accepted jobs on shutdown")
 	backendID := flag.String("backend-id", "", "cluster member ID stamped on responses as X-Agcmd-Backend (empty = omit)")
+	cacheDir := flag.String("cache-dir", "", "disk cache tier directory: finished runs persist here and survive restarts (empty = memory only)")
+	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "disk cache tier byte budget (0 = default 256 MiB)")
 	flag.Parse()
 
-	s := server.New(server.Options{
-		Workers:       *workers,
-		QueueCapacity: *queueCap,
-		CacheEntries:  *cacheEntries,
-		JobTimeout:    *jobTimeout,
-		MaxSteps:      *maxSteps,
-		BackendID:     *backendID,
+	s, err := server.New(server.Options{
+		Workers:        *workers,
+		QueueCapacity:  *queueCap,
+		CacheEntries:   *cacheEntries,
+		JobTimeout:     *jobTimeout,
+		MaxSteps:       *maxSteps,
+		BackendID:      *backendID,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: *cacheDiskBytes,
 	})
+	if err != nil {
+		log.Fatalf("agcmd: %v", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	log.Printf("agcmd: serving on %s (workers=%d queue=%d cache=%d job-timeout=%s)",
-		*addr, *workers, *queueCap, *cacheEntries, *jobTimeout)
+	log.Printf("agcmd: serving on %s (workers=%d queue=%d cache=%d job-timeout=%s cache-dir=%q)",
+		*addr, *workers, *queueCap, *cacheEntries, *jobTimeout, *cacheDir)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)

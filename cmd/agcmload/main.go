@@ -44,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"agcm/internal/server"
 )
 
 // poolConfig builds the i-th distinct request body. The pool cycles meshes
@@ -241,6 +243,7 @@ type benchReport struct {
 	Zipf          float64        `json:"zipf,omitempty"`
 	Steps         int            `json:"steps"`
 	Seed          int64          `json:"seed"`
+	Accept        string         `json:"accept,omitempty"`
 	DurationS     float64        `json:"duration_s"`
 	ThroughputRPS float64        `json:"throughput_rps"`
 	P50Ms         float64        `json:"p50_ms"`
@@ -269,12 +272,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "mix seed (same seed, same request mix)")
 	retry429 := flag.Int("retry429", 0, "times to honor a 429's Retry-After and reissue the request (0 = record the shed and move on)")
 	allowRestart := flag.Bool("allow-restart", false, "tolerate backend counter resets (a member was killed and restarted mid-run); its per-backend ledger is skipped, everything else still reconciles")
+	accept := flag.String("accept", "json", `response encoding to request: "json" or "frame" (sends Accept: application/x-agcm-frame; every 200 must be a well-formed frame whose embedded JSON section carries the key)`)
 	out := flag.String("out", "BENCH_5.json", "report path ('-' for stdout)")
 	flag.Parse()
 
 	if *target != "agcmd" && *target != "gateway" {
 		log.Fatalf("agcmload: unknown -target %q (want agcmd or gateway)", *target)
 	}
+	if *accept != "json" && *accept != "frame" {
+		log.Fatalf("agcmload: unknown -accept %q (want json or frame)", *accept)
+	}
+	wantFrame := *accept == "frame"
 	var backends []string
 	if *target == "gateway" {
 		for _, b := range strings.Split(*backendsFlag, ",") {
@@ -330,7 +338,15 @@ func main() {
 				body := poolConfig(seq[i], *steps)
 				for attempt := 0; ; attempt++ {
 					t0 := time.Now()
-					resp, err := http.Post(*addr+"/v1/run", "application/json", strings.NewReader(body))
+					req, err := http.NewRequest(http.MethodPost, *addr+"/v1/run", strings.NewReader(body))
+					if err != nil {
+						log.Fatalf("agcmload: request %d: %v", i, err)
+					}
+					req.Header.Set("Content-Type", "application/json")
+					if wantFrame {
+						req.Header.Set("Accept", server.FrameContentType)
+					}
+					resp, err := http.DefaultClient.Do(req)
 					if err != nil {
 						log.Fatalf("agcmload: request %d: %v", i, err)
 					}
@@ -342,10 +358,22 @@ func main() {
 					elapsed := time.Since(t0)
 					key := ""
 					if resp.StatusCode == http.StatusOK {
+						// In frame mode the byte-identity hash covers the raw
+						// frame; the key is parsed from the embedded JSON
+						// section, which every valid frame must carry.
+						jsonBody := raw
+						if wantFrame {
+							if ct := resp.Header.Get("Content-Type"); ct != server.FrameContentType {
+								log.Fatalf("agcmload: response %d content-type %q, want %q", i, ct, server.FrameContentType)
+							}
+							if jsonBody, err = server.JSONBody(raw); err != nil {
+								log.Fatalf("agcmload: response %d is not a valid frame: %v", i, err)
+							}
+						}
 						var parsed struct {
 							Key string `json:"key"`
 						}
-						if err := json.Unmarshal(raw, &parsed); err != nil || parsed.Key == "" {
+						if err := json.Unmarshal(jsonBody, &parsed); err != nil || parsed.Key == "" {
 							log.Fatalf("agcmload: response %d has no key: %v", i, err)
 						}
 						key = parsed.Key
@@ -483,6 +511,7 @@ func main() {
 		Zipf:          *zipf,
 		Steps:         *steps,
 		Seed:          *seed,
+		Accept:        *accept,
 		DurationS:     elapsed.Seconds(),
 		ThroughputRPS: float64(okCount) / elapsed.Seconds(),
 		P50Ms:         percentile(t.latencies, 0.50) * 1000,

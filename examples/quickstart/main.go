@@ -41,8 +41,9 @@ func main() {
 			fv, rep.Dynamics, rep.FilterTime, rep.Total)
 	}
 
-	// Save a history snapshot (big-endian on disk, as the workstation
-	// side would write it; the Read path byte-swaps as needed).
+	// Save a history snapshot in the frame encoding (CRC-protected,
+	// random-access; history.Read sniffs the magic and also still loads
+	// the legacy big-endian stream format).
 	snap, err := core.Snapshot(base, 4)
 	if err != nil {
 		log.Fatal(err)
@@ -52,7 +53,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer os.Remove(f.Name())
-	if err := history.Write(f, snap, history.BigEndian); err != nil {
+	if err := history.WriteFrame(f, snap); err != nil {
 		log.Fatal(err)
 	}
 	info, _ := f.Stat()

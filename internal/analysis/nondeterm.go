@@ -67,6 +67,10 @@ var nondetermScope = map[string]determinismLevel{
 	"trace": levelFull, "diag": levelFull, "experiments": levelFull, "stats": levelFull,
 	"history": levelFull, "fault": levelFull, "machine": levelFull, "cachesim": levelFull,
 	"singlenode": levelFull, "topology": levelFull,
+	// The frame codec's byte layout is canonical — same value, same bytes,
+	// on every host — and the disk store's eviction order is insertion
+	// order, not timestamps, so the whole package is held to bit-determinism.
+	"frame": levelFull,
 	// The serving daemon measures real latencies and enforces real
 	// deadlines, so the wall clock is legitimate there — but its response
 	// bodies and /metrics text are replayed byte-for-byte, so map emission

@@ -1,0 +1,316 @@
+package frame
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// buildSample builds a small three-section frame with every appender
+// exercised.
+func buildSample(b *Builder) []byte {
+	b.Reset()
+	b.Begin(1)
+	b.Uint32(7)
+	b.Uint64(1 << 40)
+	b.Float64(math.Pi)
+	b.Begin(5)
+	b.LenBytes([]byte("hello"))
+	b.Float64s([]float64{1.5, -2.25, 0, math.Inf(1)})
+	b.Begin(0x100)
+	b.Bytes([]byte{0xde, 0xad, 0xbe, 0xef})
+	out, err := b.Finish(TypeResponse)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	var b Builder
+	raw := buildSample(&b)
+	f, err := Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Type() != TypeResponse {
+		t.Fatalf("type = %d, want %d", f.Type(), TypeResponse)
+	}
+	if f.Sections() != 3 {
+		t.Fatalf("sections = %d, want 3", f.Sections())
+	}
+	for i, want := range []uint32{1, 5, 0x100} {
+		if got := f.TagAt(i); got != want {
+			t.Fatalf("TagAt(%d) = %d, want %d", i, got, want)
+		}
+	}
+
+	s1, ok := f.Section(1)
+	if !ok {
+		t.Fatal("section 1 missing")
+	}
+	c := NewCursor(s1)
+	if v := c.Uint32(); v != 7 {
+		t.Fatalf("u32 = %d", v)
+	}
+	if v := c.Uint64(); v != 1<<40 {
+		t.Fatalf("u64 = %d", v)
+	}
+	if v := c.Float64(); v != math.Pi {
+		t.Fatalf("f64 = %v", v)
+	}
+	if c.Remaining() != 0 || c.Err() != nil {
+		t.Fatalf("cursor state: remaining=%d err=%v", c.Remaining(), c.Err())
+	}
+
+	s5, _ := f.Section(5)
+	c = NewCursor(s5)
+	if got := c.LenBytes(); string(got) != "hello" {
+		t.Fatalf("LenBytes = %q", got)
+	}
+	xs := c.Float64s(nil)
+	want := []float64{1.5, -2.25, 0, math.Inf(1)}
+	if len(xs) != len(want) {
+		t.Fatalf("Float64s = %v", xs)
+	}
+	for i := range xs {
+		if xs[i] != want[i] {
+			t.Fatalf("Float64s[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+
+	s256, _ := f.Section(0x100)
+	if !bytes.Equal(s256, []byte{0xde, 0xad, 0xbe, 0xef}) {
+		t.Fatalf("section 0x100 = % x", s256)
+	}
+
+	if _, ok := f.Section(2); ok {
+		t.Fatal("absent tag 2 reported present")
+	}
+}
+
+// TestCanonicalReproducible: encoding the same value twice — from two
+// separate builders and from a reused one — yields identical bytes, and
+// re-encoding a decoded frame reproduces the original (the
+// encode(decode(encode(v))) == encode(v) property the content-addressed
+// cache depends on).
+func TestCanonicalReproducible(t *testing.T) {
+	var b1, b2 Builder
+	raw1 := buildSample(&b1)
+	raw2 := buildSample(&b2)
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatal("two builders produced different bytes for the same value")
+	}
+	copy1 := append([]byte(nil), raw1...)
+	again := buildSample(&b1) // reused builder
+	if !bytes.Equal(copy1, again) {
+		t.Fatal("reused builder produced different bytes")
+	}
+
+	// decode → re-encode from the decoded view.
+	f, err := Parse(copy1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rb Builder
+	rb.Reset()
+	for i := 0; i < f.Sections(); i++ {
+		tag := f.TagAt(i)
+		sec, _ := f.Section(tag)
+		rb.AddSection(tag, sec)
+	}
+	re, err := rb.Finish(f.Type())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(re, copy1) {
+		t.Fatal("encode(decode(encode(v))) != encode(v)")
+	}
+}
+
+// TestGoldenBytes pins the byte layout of a tiny frame exactly, and the
+// sample frame's hash, so any accidental format change fails loudly.  A
+// deliberate format change must bump Version and update these constants.
+func TestGoldenBytes(t *testing.T) {
+	var b Builder
+	b.Begin(3)
+	b.Uint32(0x01020304)
+	raw, err := b.Finish(TypeHistory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantHex = "41474346" + // "AGCF"
+		"0100" + // version 1
+		"0200" + // type 2 (history)
+		"01000000" + // 1 section
+		"24000000" + // total length 36
+		"030000001c00000004000000" + // table: tag 3, offset 28, length 4
+		"04030201" + // payload
+		"4a0379dd" // CRC-32C
+	if got := hex.EncodeToString(raw); got != wantHex {
+		t.Fatalf("golden frame layout changed:\n got %s\nwant %s", got, wantHex)
+	}
+
+	sum := sha256.Sum256(buildSample(&b))
+	const wantSum = "4e1e488c452cd20e84b64131d2e4ba916ab7e86420216323892563e486f3c928"
+	if got := hex.EncodeToString(sum[:]); got != wantSum {
+		t.Fatalf("golden sample-frame hash changed:\n got %s\nwant %s", got, wantSum)
+	}
+}
+
+func corrupt(raw []byte, mutate func([]byte)) []byte {
+	c := append([]byte(nil), raw...)
+	mutate(c)
+	return c
+}
+
+func refreshCRC(c []byte) {
+	binary.LittleEndian.PutUint32(c[len(c)-4:],
+		crc32.Checksum(c[:len(c)-4], castagnoli))
+}
+
+func TestParseRejections(t *testing.T) {
+	var b Builder
+	raw := buildSample(&b)
+	raw = append([]byte(nil), raw...)
+
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", raw[:10], ErrTruncated},
+		{"truncated body", raw[:len(raw)-8], ErrTruncated},
+		{"bad magic", corrupt(raw, func(c []byte) { c[0] = 'X' }), ErrMagic},
+		{"future version", corrupt(raw, func(c []byte) {
+			binary.LittleEndian.PutUint16(c[4:6], 99)
+			refreshCRC(c)
+		}), ErrVersion},
+		{"zero sections", corrupt(raw, func(c []byte) {
+			binary.LittleEndian.PutUint32(c[8:12], 0)
+			refreshCRC(c)
+		}), ErrLayout},
+		{"flipped payload bit", corrupt(raw, func(c []byte) { c[len(c)-10] ^= 1 }), ErrCRC},
+		{"wrong CRC", corrupt(raw, func(c []byte) { c[len(c)-1] ^= 0xFF }), ErrCRC},
+		{"gapped offset", corrupt(raw, func(c []byte) {
+			// shift section 2's offset forward: no longer contiguous
+			off := binary.LittleEndian.Uint32(c[16+12+4:])
+			binary.LittleEndian.PutUint32(c[16+12+4:], off+1)
+			refreshCRC(c)
+		}), ErrLayout},
+		{"out-of-bounds length", corrupt(raw, func(c []byte) {
+			binary.LittleEndian.PutUint32(c[16+8:], 1<<30)
+			refreshCRC(c)
+		}), ErrLayout},
+		{"tag order violation", corrupt(raw, func(c []byte) {
+			binary.LittleEndian.PutUint32(c[16+12:], 0) // second tag below first
+			refreshCRC(c)
+		}), ErrLayout},
+	}
+	for _, tc := range cases {
+		if _, err := Parse(tc.buf); err == nil {
+			t.Errorf("%s: Parse accepted corrupt frame", tc.name)
+		} else if tc.want != nil && !errors.Is(err, tc.want) {
+			t.Errorf("%s: error %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestBuilderTagOrder: the builder refuses non-increasing tags.
+func TestBuilderTagOrder(t *testing.T) {
+	var b Builder
+	b.Begin(5)
+	b.Uint32(1)
+	b.Begin(5)
+	if _, err := b.Finish(TypeResponse); err == nil {
+		t.Fatal("Finish accepted duplicate tag")
+	}
+	b.Reset()
+	b.Uint32(1) // append before Begin
+	if _, err := b.Finish(TypeResponse); err == nil {
+		t.Fatal("Finish accepted append before Begin")
+	}
+	b.Reset()
+	if _, err := b.Finish(TypeResponse); err == nil {
+		t.Fatal("Finish accepted empty frame")
+	}
+}
+
+// TestCursorOverrun: reads past a section's end stick at zero and report an
+// error, never panic.
+func TestCursorOverrun(t *testing.T) {
+	c := NewCursor([]byte{1, 2})
+	if v := c.Uint64(); v != 0 {
+		t.Fatalf("overrun u64 = %d", v)
+	}
+	if c.Err() == nil {
+		t.Fatal("overrun not reported")
+	}
+	if v := c.Uint32(); v != 0 {
+		t.Fatal("sticky failure did not hold")
+	}
+	c2 := NewCursor([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // LenBytes length 2^32-1
+	if p := c2.LenBytes(); p != nil {
+		t.Fatalf("oversized LenBytes = %d bytes", len(p))
+	}
+	if c2.Err() == nil {
+		t.Fatal("oversized LenBytes not reported")
+	}
+}
+
+// TestParseAllocs: validating and slicing a frame is allocation-free —
+// the property that makes cache hits and disk replays GC-neutral.
+func TestParseAllocs(t *testing.T) {
+	var b Builder
+	raw := append([]byte(nil), buildSample(&b)...)
+	var sink []byte
+	allocs := testing.AllocsPerRun(200, func() {
+		f, err := Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sec, ok := f.Section(5)
+		if !ok {
+			t.Fatal("section missing")
+		}
+		sink = sec
+	})
+	if allocs != 0 {
+		t.Fatalf("Parse+Section allocates %v times per run, want 0", allocs)
+	}
+	_ = sink
+}
+
+// TestBuilderSteadyStateAllocs: a reused builder encodes without
+// allocating once its buffers have grown.
+func TestBuilderSteadyStateAllocs(t *testing.T) {
+	var b Builder
+	buildSample(&b) // warm the buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		buildSample(&b)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Builder allocates %v times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkParseAndSection(b *testing.B) {
+	var bl Builder
+	raw := append([]byte(nil), buildSample(&bl)...)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f, err := Parse(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := f.Section(5); !ok {
+			b.Fatal("missing")
+		}
+	}
+}

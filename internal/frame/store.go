@@ -1,0 +1,250 @@
+package frame
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the disk-backed content-addressed frame tier: a directory of
+// frames laid out as <dir>/<first-2-of-key>/<key>.frame, sitting under an
+// in-memory cache.  Keys are 64-char lowercase-hex content addresses (the
+// serving stack's job keys), so a key names its bytes forever: a Get that
+// passes the frame CRC is byte-identical to what was Put, across process
+// restarts and across any replica that shares the directory.
+//
+// Writes are atomic (tmp file + rename in the same directory), so a reader
+// or a crash never observes a torn frame; reads re-Parse the frame, so a
+// corrupted file (bad CRC, bad layout) is dropped and counted rather than
+// served.  The store does not deduplicate fills — callers that need
+// single-flight semantics (the server's flight table) provide them; the
+// store itself only promises atomicity and validation.
+//
+// The tier is bounded: when Put would exceed the byte budget the oldest
+// entries are evicted first (insertion order; on open, the rescan order is
+// sorted key order), a rule chosen because it is a pure function of the
+// operation sequence — two replicas applying the same fills evict the same
+// files.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	sizes   map[string]int64
+	order   []string // insertion order, oldest first
+	bytes   int64
+	evicted uint64
+	corrupt uint64
+}
+
+// DefaultStoreBytes is the disk tier's default byte budget (256 MiB).
+const DefaultStoreBytes = 256 << 20
+
+// ValidKey reports whether key is a well-formed content address: exactly
+// 64 lowercase-hex characters.  Everything else is rejected before any
+// path is formed, so request-supplied keys cannot traverse the tree.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// OpenStore opens (creating if needed) the store rooted at dir with the
+// given byte budget (0 means DefaultStoreBytes).  Existing entries are
+// rescanned in sorted key order and the budget re-applied, so a restarted
+// process resumes with a warm, bounded tier.
+func OpenStore(dir string, maxBytes int64) (*Store, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultStoreBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("frame: opening store: %w", err)
+	}
+	st := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		sizes:    make(map[string]int64),
+	}
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		name := d.Name()
+		key, found := strings.CutSuffix(name, ".frame")
+		if !found || !ValidKey(key) {
+			return nil // foreign file; leave it alone
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // raced with a concurrent delete
+		}
+		st.sizes[key] = info.Size()
+		st.order = append(st.order, key)
+		st.bytes += info.Size()
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("frame: scanning store: %w", err)
+	}
+	// WalkDir visits lexically, which is already sorted key order; sort
+	// anyway so the eviction order never depends on filesystem quirks.
+	sort.Strings(st.order)
+	st.mu.Lock()
+	st.evictOverBudgetLocked()
+	st.mu.Unlock()
+	return st, nil
+}
+
+func (st *Store) path(key string) string {
+	return filepath.Join(st.dir, key[:2], key+".frame")
+}
+
+// Get returns the stored frame bytes for key, or (nil, false).  The bytes
+// are re-validated with Parse — layout and CRC — before being returned;
+// a file that fails validation is removed and counted as corrupt, so the
+// tier degrades to a miss, never to serving damaged bytes.
+func (st *Store) Get(key string) ([]byte, bool) {
+	if !ValidKey(key) {
+		return nil, false
+	}
+	st.mu.Lock()
+	_, known := st.sizes[key]
+	st.mu.Unlock()
+	if !known {
+		return nil, false
+	}
+	buf, err := os.ReadFile(st.path(key))
+	if err != nil {
+		st.drop(key, false)
+		return nil, false
+	}
+	if _, err := Parse(buf); err != nil {
+		st.drop(key, true)
+		return nil, false
+	}
+	return buf, true
+}
+
+// drop forgets key (and deletes its file) after a failed read.
+func (st *Store) drop(key string, corrupt bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.sizes[key]; !ok {
+		return
+	}
+	st.removeLocked(key)
+	if corrupt {
+		st.corrupt++
+	}
+}
+
+// Put stores frameBytes under key with an atomic tmp+rename write, then
+// evicts oldest-first until the tier is back under budget (the entry just
+// written is never evicted by its own Put).  The bytes must be a valid
+// frame — the store refuses to persist anything Parse rejects.
+func (st *Store) Put(key string, frameBytes []byte) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("frame: store key %q is not a content address", key)
+	}
+	if _, err := Parse(frameBytes); err != nil {
+		return fmt.Errorf("frame: refusing to store invalid frame: %w", err)
+	}
+	subdir := filepath.Join(st.dir, key[:2])
+	if err := os.MkdirAll(subdir, 0o755); err != nil {
+		return fmt.Errorf("frame: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(subdir, key+".*.tmp")
+	if err != nil {
+		return fmt.Errorf("frame: store put: %w", err)
+	}
+	if _, err := tmp.Write(frameBytes); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("frame: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("frame: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), st.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("frame: store put: %w", err)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if old, ok := st.sizes[key]; ok {
+		st.bytes -= old
+	} else {
+		st.order = append(st.order, key)
+	}
+	st.sizes[key] = int64(len(frameBytes))
+	st.bytes += int64(len(frameBytes))
+	st.evictOverBudgetLocked()
+	return nil
+}
+
+// evictOverBudgetLocked removes oldest entries until bytes <= maxBytes,
+// always sparing the newest entry so a single oversized frame still
+// persists (the budget then holds for everything else).
+func (st *Store) evictOverBudgetLocked() {
+	for st.bytes > st.maxBytes && len(st.order) > 1 {
+		st.removeLocked(st.order[0])
+		st.evicted++
+	}
+}
+
+// removeLocked deletes key's file and index entry.
+func (st *Store) removeLocked(key string) {
+	if _, ok := st.sizes[key]; !ok {
+		return
+	}
+	os.Remove(st.path(key))
+	st.bytes -= st.sizes[key]
+	delete(st.sizes, key)
+	for i, k := range st.order {
+		if k == key {
+			st.order = append(st.order[:i], st.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Len returns the number of resident entries.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.sizes)
+}
+
+// Bytes returns the resident byte total.
+func (st *Store) Bytes() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.bytes
+}
+
+// Evictions returns how many entries the budget has evicted.
+func (st *Store) Evictions() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evicted
+}
+
+// CorruptDropped returns how many entries failed validation on read and
+// were deleted.
+func (st *Store) CorruptDropped() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.corrupt
+}

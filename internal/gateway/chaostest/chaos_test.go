@@ -33,7 +33,10 @@ func bodyPool() []string {
 // these bytes are THE answer a healthy cluster must produce.
 func referenceBodies(t *testing.T, pool []string) map[string][]byte {
 	t.Helper()
-	s := server.New(server.Options{Workers: 2, QueueCapacity: 16, CacheEntries: 64})
+	s, err := server.New(server.Options{Workers: 2, QueueCapacity: 16, CacheEntries: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	refs := make(map[string][]byte, len(pool))
@@ -55,7 +58,10 @@ func referenceBodies(t *testing.T, pool []string) map[string][]byte {
 // TestTransparentProxyIsByteExact: an empty spec proxies responses
 // untouched — the baseline the fault clauses perturb.
 func TestTransparentProxyIsByteExact(t *testing.T) {
-	s := server.New(server.Options{Workers: 1, QueueCapacity: 8, CacheEntries: 16})
+	s, err := server.New(server.Options{Workers: 1, QueueCapacity: 8, CacheEntries: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	spec, _ := Parse("")
@@ -107,10 +113,13 @@ func TestGatewayUnderChaos(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		s := server.New(server.Options{
+		s, err := server.New(server.Options{
 			Workers: 2, QueueCapacity: 32, CacheEntries: 64,
 			BackendID: fmt.Sprintf("b%d", i),
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		bts := httptest.NewServer(s.Handler())
 		defer bts.Close()
 		p := NewProxy(spec, bts.URL)

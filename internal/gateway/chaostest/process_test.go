@@ -56,13 +56,14 @@ type agcmdProc struct {
 	bin  string
 }
 
-func startAgcmd(t *testing.T, bin string, port int, id string) *agcmdProc {
+func startAgcmd(t *testing.T, bin string, port int, id string, extra ...string) *agcmdProc {
 	t.Helper()
 	args := []string{
 		"-addr", fmt.Sprintf("127.0.0.1:%d", port),
 		"-workers", "2", "-queue", "64", "-cache", "256",
 		"-backend-id", id,
 	}
+	args = append(args, extra...)
 	p := &agcmdProc{
 		url:  fmt.Sprintf("http://127.0.0.1:%d", port),
 		args: args,
@@ -255,5 +256,150 @@ func TestGatewaySurvivesBackendKill(t *testing.T) {
 	}
 	if !recovered {
 		t.Fatal("restarted backend was never readmitted into rotation")
+	}
+}
+
+// scrapeCounter fetches the backend's /metrics and sums every sample of the
+// named counter family (across labels).
+func scrapeCounter(t *testing.T, url, family string) float64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, line := range strings.Split(string(raw), "\n") {
+		if !strings.HasPrefix(line, family) || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(line[i+1:], "%g", &v); err != nil {
+			t.Fatalf("bad metrics line %q: %v", line, err)
+		}
+		sum += v
+	}
+	return sum
+}
+
+// TestDiskTierSurvivesSIGKILL is the durability drill for the disk cache
+// tier: a real agcmd with -cache-dir serves a request mix through the
+// gateway, is SIGKILLed (no drain, no flush window), and restarts over the
+// same directory.  Every body the gateway observed before the kill must
+// come back byte-identical from the disk tier — with zero simulation
+// re-runs, because the daemon persists each result before responding.
+func TestDiskTierSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and drives real agcmd processes")
+	}
+	root := repoRoot(t)
+	bin := filepath.Join(t.TempDir(), "agcmd")
+	build := exec.Command("go", "build", "-o", bin, "agcm/cmd/agcmd")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building agcmd: %v\n%s", err, out)
+	}
+
+	cacheDir := t.TempDir()
+	port := freePort(t)
+	proc := startAgcmd(t, bin, port, "disk0", "-cache-dir", cacheDir)
+	defer proc.kill()
+	proc.awaitReady(t)
+
+	g, err := gateway.New(gateway.Options{
+		Backends:       []string{proc.url},
+		Policy:         "round-robin",
+		ProbeInterval:  40 * time.Millisecond,
+		FailThreshold:  2,
+		OpenFor:        200 * time.Millisecond,
+		RetryMax:       4,
+		RetryRatio:     1,
+		RetryBurst:     60,
+		BackoffBase:    2 * time.Millisecond,
+		BackoffCap:     30 * time.Millisecond,
+		AttemptTimeout: 10 * time.Second,
+		Seed:           7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	gw := httptest.NewServer(g.Handler())
+	defer gw.Close()
+
+	// Round 1: populate both tiers through the gateway and record every body.
+	pool := bodyPool()
+	first := make(map[string][]byte, len(pool))
+	for _, body := range pool {
+		resp, err := http.Post(gw.URL+"/v1/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("seed request %q: status %d: %s", body, resp.StatusCode, raw)
+		}
+		first[body] = raw
+	}
+
+	// SIGKILL: no drain, no graceful anything.  The durability contract is
+	// that every *responded* result was already on disk before its 200.
+	proc.kill()
+	proc.start(t)
+	proc.awaitReady(t)
+
+	// Round 2: the same mix must replay byte-identical from the disk tier.
+	// The gateway may need a probe cycle to readmit the backend, so retry
+	// briefly on non-200s.
+	for _, body := range pool {
+		var raw []byte
+		var cacheHdr string
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Post(gw.URL+"/v1/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if resp.StatusCode == 200 {
+				cacheHdr = resp.Header.Get("X-Agcmd-Cache")
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("replay %q: status %d never recovered: %s", body, resp.StatusCode, raw)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+		if string(raw) != string(first[body]) {
+			t.Fatalf("replay %q not byte-identical after SIGKILL restart\ngot  %q\nwant %q",
+				body, raw, first[body])
+		}
+		if cacheHdr != "disk-hit" && cacheHdr != "hit" {
+			t.Fatalf("replay %q served with disposition %q, want disk-hit (or hit after promotion)", body, cacheHdr)
+		}
+	}
+
+	// Zero re-runs: the restarted process replayed everything from disk.
+	if runs := scrapeCounter(t, proc.url, "agcmd_runs_total"); runs != 0 {
+		t.Fatalf("restarted daemon re-ran %g simulations; the disk tier should have served them all", runs)
+	}
+	if diskHits := scrapeCounter(t, proc.url, `agcmd_requests_total{result="disk_hit"}`); diskHits != float64(len(pool)) {
+		t.Fatalf("disk-hit count %g, want %d", diskHits, len(pool))
 	}
 }

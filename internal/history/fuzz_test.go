@@ -32,6 +32,19 @@ func FuzzRead(f *testing.F) {
 	mut[9] = 0xFF
 	f.Add(mut)
 
+	// Frame-encoded seeds: Read dispatches on the magic, so the fuzzer
+	// must reach both decode paths.
+	goodFrame, err := EncodeFrame(file)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(goodFrame)
+	f.Add(goodFrame[:len(goodFrame)/2])
+	f.Add(goodFrame[:4]) // bare frame magic
+	fmut := append([]byte(nil), goodFrame...)
+	fmut[len(fmut)-10] ^= 1 // payload bit flip: CRC must catch it
+	f.Add(fmut)
+
 	f.Fuzz(func(t *testing.T, in []byte) {
 		got, err := Read(bytes.NewReader(in))
 		if err != nil {

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 
+	"agcm/internal/frame"
 	"agcm/internal/grid"
 )
 
@@ -111,13 +112,34 @@ func Write(w io.Writer, f *File, bo ByteOrder) error {
 	return nil
 }
 
-// Read deserializes a history file, transparently applying the byte-order
-// reversal when the payload order differs from what the caller's platform
-// would have written — the routine the paper's authors had to add for the
-// Paragon port.
+// Read deserializes a history file in either supported encoding.  It
+// sniffs the 4-byte magic: "AGCF" selects the frame encoding (the current
+// checkpoint format), "AGMH" the legacy stream format, transparently
+// applying the byte-order reversal when the legacy payload order differs
+// from what the caller's platform would have written — the routine the
+// paper's authors had to add for the Paragon port.  Checkpoints written
+// before the frame migration therefore still load.
 func Read(r io.Reader) (*File, error) {
+	var first [4]byte
+	if _, err := io.ReadFull(r, first[:]); err != nil {
+		return nil, fmt.Errorf("history: reading header: %w", err)
+	}
+	if frame.IsFrame(first[:]) {
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("history: reading frame: %w", err)
+		}
+		return decodeFrame(append(first[:], rest...))
+	}
+	return readLegacy(first, r)
+}
+
+// readLegacy deserializes the pre-frame "AGMH" stream format, whose first
+// four bytes have already been consumed as the magic sniff.
+func readLegacy(first [4]byte, r io.Reader) (*File, error) {
 	hdr := make([]uint32, 8)
-	if err := binary.Read(r, binary.BigEndian, hdr); err != nil {
+	hdr[0] = binary.BigEndian.Uint32(first[:])
+	if err := binary.Read(r, binary.BigEndian, hdr[1:]); err != nil {
 		return nil, fmt.Errorf("history: reading header: %w", err)
 	}
 	if hdr[0] != Magic {

@@ -85,6 +85,14 @@ type gauges struct {
 	CacheEntries int
 	CacheEvicted uint64
 	Draining     bool
+
+	// Disk-tier state; emitted only when DiskEnabled, so a daemon without
+	// a cache directory scrapes exactly as before.
+	DiskEnabled bool
+	DiskEntries int
+	DiskBytes   int64
+	DiskEvicted uint64
+	DiskCorrupt uint64
 }
 
 func fmtFloat(v float64) string {
@@ -135,6 +143,20 @@ func (m *metrics) WriteText(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "# HELP agcmd_draining Whether the daemon is draining (1) or serving (0).\n")
 	fmt.Fprintf(w, "# TYPE agcmd_draining gauge\n")
 	fmt.Fprintf(w, "agcmd_draining %d\n", drain)
+	if g.DiskEnabled {
+		fmt.Fprintf(w, "# HELP agcmd_disk_cache_entries Disk-tier frames resident.\n")
+		fmt.Fprintf(w, "# TYPE agcmd_disk_cache_entries gauge\n")
+		fmt.Fprintf(w, "agcmd_disk_cache_entries %d\n", g.DiskEntries)
+		fmt.Fprintf(w, "# HELP agcmd_disk_cache_bytes Disk-tier bytes resident.\n")
+		fmt.Fprintf(w, "# TYPE agcmd_disk_cache_bytes gauge\n")
+		fmt.Fprintf(w, "agcmd_disk_cache_bytes %d\n", g.DiskBytes)
+		fmt.Fprintf(w, "# HELP agcmd_disk_cache_evictions_total Disk-tier budget evictions.\n")
+		fmt.Fprintf(w, "# TYPE agcmd_disk_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "agcmd_disk_cache_evictions_total %d\n", g.DiskEvicted)
+		fmt.Fprintf(w, "# HELP agcmd_disk_cache_corrupt_total Disk-tier frames dropped for failing validation.\n")
+		fmt.Fprintf(w, "# TYPE agcmd_disk_cache_corrupt_total counter\n")
+		fmt.Fprintf(w, "agcmd_disk_cache_corrupt_total %d\n", g.DiskCorrupt)
+	}
 
 	fmt.Fprintf(w, "# HELP agcmd_job_seconds Simulation execution latency.\n")
 	fmt.Fprintf(w, "# TYPE agcmd_job_seconds histogram\n")

@@ -18,6 +18,17 @@ import (
 	"agcm/internal/core"
 )
 
+// mustNew builds a Server, failing the test on error (only opening the
+// disk tier can fail).
+func mustNew(t *testing.T, opt Options) *Server {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
 // reqJSON builds a /v1/run body for a small test simulation.
 func reqJSON(mesh [2]int, filter string, steps int) string {
 	return fmt.Sprintf(`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon",`+
@@ -72,7 +83,7 @@ func TestDeterministicResponsesAcrossInstances(t *testing.T) {
 	}
 
 	run := func(seed int64) map[int][]byte {
-		s := New(Options{Workers: 4, QueueCapacity: total})
+		s := mustNew(t, Options{Workers: 4, QueueCapacity: total})
 		ts := httptest.NewServer(s.Handler())
 		defer ts.Close()
 		defer s.Drain(context.Background())
@@ -127,7 +138,7 @@ func TestDeterministicResponsesAcrossInstances(t *testing.T) {
 // TestCacheHitIdenticalBytesWithoutRerun: a repeated config must come back
 // from the cache — identical bytes, no second simulation.
 func TestCacheHitIdenticalBytesWithoutRerun(t *testing.T) {
-	s := New(Options{Workers: 1})
+	s := mustNew(t, Options{Workers: 1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain(context.Background())
@@ -155,7 +166,7 @@ func TestCacheHitIdenticalBytesWithoutRerun(t *testing.T) {
 // TestSingleFlightCoalesces: concurrent identical requests share one run.
 func TestSingleFlightCoalesces(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Options{
+	s := mustNew(t, Options{
 		Workers:       4,
 		QueueCapacity: 16,
 		Runner: func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
@@ -211,7 +222,7 @@ func TestSingleFlightCoalesces(t *testing.T) {
 // request must be shed with 429 and a Retry-After hint.
 func TestLoadShedding(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Options{
+	s := mustNew(t, Options{
 		Workers:       1,
 		QueueCapacity: 1,
 		Runner: func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
@@ -278,7 +289,7 @@ func getStatus(t *testing.T, url string) int {
 // the moment draining begins, before accepted jobs have finished.
 func TestDrain(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Options{
+	s := mustNew(t, Options{
 		Workers:       1,
 		QueueCapacity: 4,
 		Runner: func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
@@ -349,7 +360,7 @@ func TestDrain(t *testing.T) {
 // TestDrainTimeout: a drain that cannot finish reports the context error.
 func TestDrainTimeout(t *testing.T) {
 	release := make(chan struct{})
-	s := New(Options{
+	s := mustNew(t, Options{
 		Workers: 1,
 		Runner: func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
 			<-release
@@ -409,7 +420,7 @@ func TestMetricsReconcile(t *testing.T) {
 	gate := make(chan struct{}, 1024)
 	blocking := false
 	var mu sync.Mutex
-	s := New(Options{
+	s := mustNew(t, Options{
 		Workers:       1,
 		QueueCapacity: 1,
 		Runner: func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
@@ -552,7 +563,7 @@ func TestMetricsDeterministicEmission(t *testing.T) {
 
 // TestBadRequests: malformed requests are rejected with 400 and counted.
 func TestBadRequests(t *testing.T) {
-	s := New(Options{Workers: 1, MaxSteps: 10})
+	s := mustNew(t, Options{Workers: 1, MaxSteps: 10})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	defer s.Drain(context.Background())
@@ -585,7 +596,7 @@ func TestBadRequests(t *testing.T) {
 // the peek path keeps answering during a drain (the gateway's degraded-mode
 // dependency).
 func TestCachePeekAndBackendID(t *testing.T) {
-	s := New(Options{Workers: 1, BackendID: "b7"})
+	s := mustNew(t, Options{Workers: 1, BackendID: "b7"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -647,7 +658,7 @@ func TestCachePeekAndBackendID(t *testing.T) {
 // TestJobTimeout: a run exceeding its budget returns 504 and counts as a
 // run error; the failure is not cached, so a retry runs again.
 func TestJobTimeout(t *testing.T) {
-	s := New(Options{
+	s := mustNew(t, Options{
 		Workers:    1,
 		JobTimeout: 10 * time.Millisecond,
 		Runner: func(ctx context.Context, cfg core.Config, steps int) (*core.Report, error) {
