@@ -27,6 +27,8 @@ func main() {
 		"run the host benchmark suite and write the JSON report to this file ('-' for stdout)")
 	bench8JSON := flag.String("bench8-json", "",
 		"run the frame-format and disk-tier benchmark suite and write the JSON report to this file ('-' for stdout)")
+	bench9JSON := flag.String("bench9-json", "",
+		"run the deterministic scheduler comparison over the reference workload and write the JSON report to this file ('-' for stdout)")
 	topologyStr := flag.String("topology", "",
 		"route every run over an interconnect model: auto, mesh[:XxY], torus[:XxYxZ], switch")
 	placementStr := flag.String("placement", "",
@@ -46,6 +48,10 @@ func main() {
 	}
 	if *bench8JSON != "" {
 		writeBench8JSON(*bench8JSON)
+		return
+	}
+	if *bench9JSON != "" {
+		writeBench9JSON(*bench9JSON)
 		return
 	}
 	opt := experiments.Options{
@@ -110,6 +116,31 @@ func writeBenchJSON(path string) {
 // restart latency — as indented JSON.
 func writeBench8JSON(path string) {
 	rep, err := bench.NewBench8Report()
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// writeBench9JSON runs the virtual-time scheduler comparison — per-class
+// latency under fcfs, priority, and sjf, plus the label-inverted variant —
+// as indented JSON.  Unlike the host benchmarks the output is
+// bit-deterministic, so CI diffs the regenerated document against the
+// committed one.
+func writeBench9JSON(path string) {
+	rep, err := bench.NewBench9Report()
 	if err != nil {
 		fatal(err)
 	}

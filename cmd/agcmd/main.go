@@ -42,11 +42,13 @@ func main() {
 	backendID := flag.String("backend-id", "", "cluster member ID stamped on responses as X-Agcmd-Backend (empty = omit)")
 	cacheDir := flag.String("cache-dir", "", "disk cache tier directory: finished runs persist here and survive restarts (empty = memory only)")
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "disk cache tier byte budget (0 = default 256 MiB)")
+	scheduler := flag.String("scheduler", "fcfs", "admission scheduling policy: fcfs, priority or sjf")
 	flag.Parse()
 
 	s, err := server.New(server.Options{
 		Workers:        *workers,
 		QueueCapacity:  *queueCap,
+		Scheduler:      *scheduler,
 		CacheEntries:   *cacheEntries,
 		JobTimeout:     *jobTimeout,
 		MaxSteps:       *maxSteps,
@@ -61,8 +63,8 @@ func main() {
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	log.Printf("agcmd: serving on %s (workers=%d queue=%d cache=%d job-timeout=%s cache-dir=%q)",
-		*addr, *workers, *queueCap, *cacheEntries, *jobTimeout, *cacheDir)
+	log.Printf("agcmd: serving on %s (workers=%d queue=%d scheduler=%s cache=%d job-timeout=%s cache-dir=%q)",
+		*addr, *workers, *queueCap, s.SchedulerName(), *cacheEntries, *jobTimeout, *cacheDir)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)

@@ -1,8 +1,17 @@
 // Command agcmload is the load generator and correctness prober for agcmd
-// and the agcmgw gateway.  It replays a seeded, reproducible request mix
-// (configurable concurrency, duplicate ratio, and optional Zipf-skewed key
-// reuse) against a live daemon and verifies the serving layer's core
-// promise while measuring it:
+// and the agcmgw gateway.  It has two front ends over one measurement core:
+//
+//   - the legacy mix (default): a seeded, reproducible request mix with
+//     configurable concurrency, duplicate ratio, and optional Zipf-skewed
+//     key reuse (internal/workload's Sequence and PoolBody),
+//   - the workload engine (-spec spec.json): a declarative workload —
+//     arrival process, diurnal modulation, SLO class mix, Zipf config
+//     popularity — generated deterministically and dispatched open-loop at
+//     its virtual arrival times (compressed by -timescale).  -record writes
+//     the generated schedule as a trace; -replay dispatches a recorded
+//     trace byte-for-byte; -dump-spec prints the canonicalized spec.
+//
+// Either way it verifies the serving layer's core promise while measuring:
 //
 //   - every 200 response for a given job key is byte-identical (the cache,
 //     single-flight, and — through the gateway — retry/hedge/degraded
@@ -35,7 +44,6 @@ import (
 	"fmt"
 	"io"
 	"log"
-	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -46,51 +54,8 @@ import (
 	"time"
 
 	"agcm/internal/server"
+	"agcm/internal/workload"
 )
-
-// poolConfig builds the i-th distinct request body. The pool cycles meshes
-// and filters and then varies init_wind, so it is unbounded and every index
-// maps to a distinct config (hence a distinct job key).
-func poolConfig(i, steps int) string {
-	meshes := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
-	filters := []string{
-		"fft", "fft-load-balanced", "convolution-ring",
-		"convolution-tree", "polar-implicit-diffusion", "none",
-	}
-	mesh := meshes[i%len(meshes)]
-	filter := filters[(i/len(meshes))%len(filters)]
-	wind := 20.0 + float64(i/(len(meshes)*len(filters)))
-	return fmt.Sprintf(`{"config":{"nlon":36,"nlat":24,"nlayers":3,"machine":"paragon",`+
-		`"mesh_py":%d,"mesh_px":%d,"filter":%q,"init_wind":%s},"steps":%d}`,
-		mesh[0], mesh[1], filter, strconv.FormatFloat(wind, 'g', -1, 64), steps)
-}
-
-// buildSequence fixes the request mix up front: with probability dup a
-// request repeats an already-issued config, otherwise it draws the next
-// fresh one.  With zipf > 1 repeats are Zipf-skewed toward the earliest
-// configs (a hot-key distribution, the regime key-affinity routing is
-// built for); with zipf = 0 repeats are uniform.  Seeded, so the same
-// flags reproduce the same mix.
-func buildSequence(n int, dup, zipf float64, seed int64) []int {
-	rng := rand.New(rand.NewSource(seed))
-	seq := make([]int, n)
-	fresh := 0
-	for i := range seq {
-		if fresh > 0 && rng.Float64() < dup {
-			if zipf > 1 && fresh > 1 {
-				z := rand.NewZipf(rng, zipf, 1, uint64(fresh-1))
-				seq[i] = int(z.Uint64())
-			} else {
-				seq[i] = rng.Intn(fresh)
-			}
-		} else {
-			seq[i] = fresh
-			fresh++
-		}
-	}
-	rng.Shuffle(n, func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
-	return seq
-}
 
 // tally is the client-side view of the run, reconciled against /metrics.
 type tally struct {
@@ -101,17 +66,34 @@ type tally struct {
 	latencies  []float64 // seconds, 200s only
 	mismatches []string
 	retried429 int
+	// Per-SLO-class ledger (spec mode): issued counts every HTTP issue,
+	// reissues included, mirroring the server's validated-request counter;
+	// latencies holds 200s only.
+	classIssued    map[string]int
+	classLatencies map[string][]float64
 }
 
-func (t *tally) record(status int, cacheHeader string, key string, body []byte, elapsed time.Duration) {
+func newTally() *tally {
+	return &tally{
+		byStatus:       make(map[int]int),
+		byCache:        make(map[string]int),
+		bodyHash:       make(map[string][32]byte),
+		classIssued:    make(map[string]int),
+		classLatencies: make(map[string][]float64),
+	}
+}
+
+func (t *tally) record(class string, status int, cacheHeader string, key string, body []byte, elapsed time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.byStatus[status]++
+	t.classIssued[class]++
 	if status != http.StatusOK {
 		return
 	}
 	t.byCache[cacheHeader]++
 	t.latencies = append(t.latencies, elapsed.Seconds())
+	t.classLatencies[class] = append(t.classLatencies[class], elapsed.Seconds())
 	h := sha256.Sum256(body)
 	if prev, ok := t.bodyHash[key]; ok {
 		if prev != h {
@@ -123,10 +105,92 @@ func (t *tally) record(status int, cacheHeader string, key string, body []byte, 
 	t.bodyHash[key] = h
 }
 
+// responseSetSHA256 hashes the run's key→body-hash set in sorted order: two
+// runs that produced the same bytes for the same keys hash identically, no
+// matter the interleaving — the replay-determinism fingerprint.
+func (t *tally) responseSetSHA256() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	keys := make([]string, 0, len(t.bodyHash))
+	for k := range t.bodyHash {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		bh := t.bodyHash[k]
+		fmt.Fprintf(h, "%s %x\n", k, bh)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
 func (t *tally) noteRetry429() {
 	t.mu.Lock()
 	t.retried429++
 	t.mu.Unlock()
+}
+
+// issuer issues one request (plus its 429 reissues) and records the outcome;
+// both the legacy worker pool and the open-loop dispatcher run through it.
+type issuer struct {
+	addr      string
+	wantFrame bool
+	retry429  int
+	t         *tally
+}
+
+func (c *issuer) issue(i int, class, body string) {
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		req, err := http.NewRequest(http.MethodPost, c.addr+"/v1/run", strings.NewReader(body))
+		if err != nil {
+			log.Fatalf("agcmload: request %d: %v", i, err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if c.wantFrame {
+			req.Header.Set("Accept", server.FrameContentType)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatalf("agcmload: request %d: %v", i, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			log.Fatalf("agcmload: reading response %d: %v", i, err)
+		}
+		elapsed := time.Since(t0)
+		key := ""
+		if resp.StatusCode == http.StatusOK {
+			// In frame mode the byte-identity hash covers the raw frame; the
+			// key is parsed from the embedded JSON section, which every valid
+			// frame must carry.
+			jsonBody := raw
+			if c.wantFrame {
+				if ct := resp.Header.Get("Content-Type"); ct != server.FrameContentType {
+					log.Fatalf("agcmload: response %d content-type %q, want %q", i, ct, server.FrameContentType)
+				}
+				if jsonBody, err = server.JSONBody(raw); err != nil {
+					log.Fatalf("agcmload: response %d is not a valid frame: %v", i, err)
+				}
+			}
+			var parsed struct {
+				Key string `json:"key"`
+			}
+			if err := json.Unmarshal(jsonBody, &parsed); err != nil || parsed.Key == "" {
+				log.Fatalf("agcmload: response %d has no key: %v", i, err)
+			}
+			key = parsed.Key
+		}
+		c.t.record(class, resp.StatusCode, resp.Header.Get("X-Agcmd-Cache"), key, raw, elapsed)
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= c.retry429 {
+			return
+		}
+		// Honor the server's own backpressure estimate before reissuing; the
+		// shed above is already tallied, so the ledgers still balance.
+		c.t.noteRetry429()
+		time.Sleep(retryAfterSeconds(resp.Header))
+	}
 }
 
 func percentile(sorted []float64, p float64) float64 {
@@ -233,6 +297,30 @@ type gatewayStats struct {
 	PerBackend         map[string]backendRecon `json:"per_backend"`
 }
 
+// classLatency is one SLO class's client-side view in spec mode.
+type classLatency struct {
+	Issued int     `json:"issued"` // HTTP issues, reissues included
+	OK     int     `json:"ok"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// specStats is the workload-engine section of the report.
+type specStats struct {
+	Name string `json:"name"`
+	// SpecSHA256 addresses the canonical spec; ScheduleSHA256 addresses the
+	// generated (or replayed) trace bytes — same spec, same schedule hash.
+	SpecSHA256     string `json:"spec_sha256"`
+	ScheduleSHA256 string `json:"schedule_sha256"`
+	Timescale      float64 `json:"timescale"`
+	Replayed       bool    `json:"replayed,omitempty"`
+	// ResponseSetSHA256 fingerprints the key→body-hash set: two replays of
+	// the same trace against fresh daemons must produce the same value.
+	ResponseSetSHA256 string                  `json:"response_set_sha256"`
+	PerClass          map[string]classLatency `json:"per_class"`
+}
+
 // benchReport is the BENCH_5.json / BENCH_6.json document.
 type benchReport struct {
 	Note          string         `json:"note"`
@@ -256,6 +344,7 @@ type benchReport struct {
 	RunsDelta     float64        `json:"server_runs_delta"`
 	Reconciled    bool           `json:"metrics_reconciled"`
 	Gateway       *gatewayStats  `json:"gateway,omitempty"`
+	Spec          *specStats     `json:"spec,omitempty"`
 }
 
 func main() {
@@ -274,6 +363,11 @@ func main() {
 	allowRestart := flag.Bool("allow-restart", false, "tolerate backend counter resets (a member was killed and restarted mid-run); its per-backend ledger is skipped, everything else still reconciles")
 	accept := flag.String("accept", "json", `response encoding to request: "json" or "frame" (sends Accept: application/x-agcm-frame; every 200 must be a well-formed frame whose embedded JSON section carries the key)`)
 	out := flag.String("out", "BENCH_5.json", "report path ('-' for stdout)")
+	specPath := flag.String("spec", "", "workload spec JSON: generate and dispatch its schedule instead of the legacy mix")
+	replayPath := flag.String("replay", "", "recorded trace: dispatch its requests byte-for-byte instead of generating")
+	recordPath := flag.String("record", "", "write the dispatched schedule as a replayable trace before running")
+	dumpSpec := flag.Bool("dump-spec", false, "print the canonicalized spec (requires -spec or -replay) and exit")
+	timescale := flag.Float64("timescale", 1, "virtual-to-wall time compression for -spec/-replay pacing (2 = dispatch twice as fast)")
 	flag.Parse()
 
 	if *target != "agcmd" && *target != "gateway" {
@@ -281,6 +375,67 @@ func main() {
 	}
 	if *accept != "json" && *accept != "frame" {
 		log.Fatalf("agcmload: unknown -accept %q (want json or frame)", *accept)
+	}
+	if *specPath != "" && *replayPath != "" {
+		log.Fatal("agcmload: -spec and -replay are mutually exclusive")
+	}
+	if *timescale <= 0 {
+		log.Fatalf("agcmload: -timescale %g out of range (must be > 0)", *timescale)
+	}
+
+	// Workload-engine mode: load the schedule before touching the network so
+	// a bad spec or trace fails fast.
+	var sched *workload.Schedule
+	replayed := false
+	switch {
+	case *replayPath != "":
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			log.Fatalf("agcmload: %v", err)
+		}
+		if sched, err = workload.ReadTrace(f); err != nil {
+			log.Fatalf("agcmload: reading trace %s: %v", *replayPath, err)
+		}
+		f.Close()
+		replayed = true
+	case *specPath != "":
+		raw, err := os.ReadFile(*specPath)
+		if err != nil {
+			log.Fatalf("agcmload: %v", err)
+		}
+		spec, err := workload.ParseSpec(raw)
+		if err != nil {
+			log.Fatalf("agcmload: parsing spec %s: %v", *specPath, err)
+		}
+		if sched, err = workload.Generate(spec); err != nil {
+			log.Fatalf("agcmload: generating schedule: %v", err)
+		}
+	}
+	if *dumpSpec {
+		if sched == nil {
+			log.Fatal("agcmload: -dump-spec needs -spec or -replay")
+		}
+		canonical, err := sched.Spec.CanonicalJSON()
+		if err != nil {
+			log.Fatalf("agcmload: %v", err)
+		}
+		os.Stdout.Write(append(canonical, '\n'))
+		return
+	}
+	if *recordPath != "" {
+		if sched == nil {
+			log.Fatal("agcmload: -record needs -spec or -replay")
+		}
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			log.Fatalf("agcmload: %v", err)
+		}
+		if err := workload.WriteTrace(f, sched); err != nil {
+			log.Fatalf("agcmload: writing trace %s: %v", *recordPath, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("agcmload: closing trace %s: %v", *recordPath, err)
+		}
 	}
 	wantFrame := *accept == "frame"
 	var backends []string
@@ -299,7 +454,6 @@ func main() {
 		prefix = "agcmgw_"
 	}
 
-	seq := buildSequence(*requests, *dup, *zipf, *seed)
 	before, err := scrapeMetrics(*addr, prefix)
 	if err != nil {
 		log.Fatalf("agcmload: initial metrics scrape: %v", err)
@@ -311,87 +465,59 @@ func main() {
 		}
 	}
 
-	t := &tally{
-		byStatus: make(map[int]int),
-		byCache:  make(map[string]int),
-		bodyHash: make(map[string][32]byte),
-	}
-	var next atomic.Int64
+	t := newTally()
+	is := &issuer{addr: *addr, wantFrame: wantFrame, retry429: *retry429, t: t}
 	deadline := time.Time{}
 	if *duration > 0 {
 		deadline = time.Now().Add(*duration)
 	}
 	start := time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < *concurrency; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(seq) {
-					return
-				}
-				if !deadline.IsZero() && time.Now().After(deadline) {
-					return
-				}
-				body := poolConfig(seq[i], *steps)
-				for attempt := 0; ; attempt++ {
-					t0 := time.Now()
-					req, err := http.NewRequest(http.MethodPost, *addr+"/v1/run", strings.NewReader(body))
-					if err != nil {
-						log.Fatalf("agcmload: request %d: %v", i, err)
-					}
-					req.Header.Set("Content-Type", "application/json")
-					if wantFrame {
-						req.Header.Set("Accept", server.FrameContentType)
-					}
-					resp, err := http.DefaultClient.Do(req)
-					if err != nil {
-						log.Fatalf("agcmload: request %d: %v", i, err)
-					}
-					raw, err := io.ReadAll(resp.Body)
-					resp.Body.Close()
-					if err != nil {
-						log.Fatalf("agcmload: reading response %d: %v", i, err)
-					}
-					elapsed := time.Since(t0)
-					key := ""
-					if resp.StatusCode == http.StatusOK {
-						// In frame mode the byte-identity hash covers the raw
-						// frame; the key is parsed from the embedded JSON
-						// section, which every valid frame must carry.
-						jsonBody := raw
-						if wantFrame {
-							if ct := resp.Header.Get("Content-Type"); ct != server.FrameContentType {
-								log.Fatalf("agcmload: response %d content-type %q, want %q", i, ct, server.FrameContentType)
-							}
-							if jsonBody, err = server.JSONBody(raw); err != nil {
-								log.Fatalf("agcmload: response %d is not a valid frame: %v", i, err)
-							}
-						}
-						var parsed struct {
-							Key string `json:"key"`
-						}
-						if err := json.Unmarshal(jsonBody, &parsed); err != nil || parsed.Key == "" {
-							log.Fatalf("agcmload: response %d has no key: %v", i, err)
-						}
-						key = parsed.Key
-					}
-					t.record(resp.StatusCode, resp.Header.Get("X-Agcmd-Cache"), key, raw, elapsed)
-					if resp.StatusCode != http.StatusTooManyRequests || attempt >= *retry429 {
-						break
-					}
-					// Honor the server's own backpressure estimate before
-					// reissuing; the shed above is already tallied, so the
-					// ledgers still balance.
-					t.noteRetry429()
-					time.Sleep(retryAfterSeconds(resp.Header))
-				}
+	if sched != nil {
+		// Open-loop dispatch: one goroutine per request, launched at its
+		// virtual arrival time compressed by -timescale.  The dispatcher
+		// sleeps between launches (arrival times are non-decreasing), so a
+		// slow server cannot slow the arrival process down — that is the
+		// point of open-loop load.
+		var wg sync.WaitGroup
+		for _, r := range sched.Requests {
+			at := time.Duration(float64(r.AtUS) / *timescale * float64(time.Microsecond))
+			if d := time.Until(start.Add(at)); d > 0 {
+				time.Sleep(d)
 			}
-		}()
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			wg.Add(1)
+			go func(r workload.Request) {
+				defer wg.Done()
+				is.issue(r.Seq, r.Class, r.Body)
+			}(r)
+		}
+		wg.Wait()
+	} else {
+		seq := workload.Sequence(*requests, *dup, *zipf, *seed)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < *concurrency; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(seq) {
+						return
+					}
+					if !deadline.IsZero() && time.Now().After(deadline) {
+						return
+					}
+					// Legacy bodies carry no priority or slo field, so the
+					// server classes every one of them batch.
+					is.issue(i, "batch", workload.PoolBody(seq[i], *steps))
+				}
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	elapsed := time.Since(start)
 
 	after, err := scrapeMetrics(*addr, prefix)
@@ -494,6 +620,43 @@ func main() {
 		}
 	}
 
+	var spStats *specStats
+	if sched != nil {
+		// Per-class ledger: the edge the client talked to counts every
+		// validated request by class (reissues included), so its per-class
+		// deltas must match the client's issue counts exactly.
+		classFamily := "agcmd_class_requests_total"
+		if *target == "gateway" {
+			classFamily = "agcmgw_class_requests_total"
+		}
+		perClass := make(map[string]classLatency)
+		for _, class := range sched.Classes() {
+			reconcile(fmt.Sprintf(`%s{class=%q}`, classFamily, class), t.classIssued[class])
+			lat := append([]float64(nil), t.classLatencies[class]...)
+			sort.Float64s(lat)
+			perClass[class] = classLatency{
+				Issued: t.classIssued[class],
+				OK:     len(lat),
+				P50Ms:  percentile(lat, 0.50) * 1000,
+				P95Ms:  percentile(lat, 0.95) * 1000,
+				P99Ms:  percentile(lat, 0.99) * 1000,
+			}
+		}
+		schedHash, err := sched.Hash()
+		if err != nil {
+			log.Fatalf("agcmload: hashing schedule: %v", err)
+		}
+		spStats = &specStats{
+			Name:              sched.Spec.Name,
+			SpecSHA256:        mustSpecHash(sched.Spec),
+			ScheduleSHA256:    schedHash,
+			Timescale:         *timescale,
+			Replayed:          replayed,
+			ResponseSetSHA256: t.responseSetSHA256(),
+			PerClass:          perClass,
+		}
+	}
+
 	sort.Float64s(t.latencies)
 	issued := 0
 	for _, n := range t.byStatus {
@@ -524,6 +687,7 @@ func main() {
 		RunsDelta:     runsDelta,
 		Reconciled:    len(failures) == 0,
 		Gateway:       gwStats,
+		Spec:          spStats,
 	}
 	raw, _ := json.MarshalIndent(rep, "", "  ")
 	raw = append(raw, '\n')
@@ -542,6 +706,14 @@ func main() {
 		os.Exit(2)
 	}
 	fmt.Fprintf(os.Stderr, "agcmload: all responses per-key byte-identical; metrics reconcile\n")
+}
+
+func mustSpecHash(s workload.Spec) string {
+	h, err := s.Hash()
+	if err != nil {
+		log.Fatalf("agcmload: hashing spec: %v", err)
+	}
+	return h
 }
 
 func statusKeys(m map[int]int) map[string]int {

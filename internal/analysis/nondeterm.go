@@ -71,6 +71,10 @@ var nondetermScope = map[string]determinismLevel{
 	// on every host — and the disk store's eviction order is insertion
 	// order, not timestamps, so the whole package is held to bit-determinism.
 	"frame": levelFull,
+	// The workload engine's entire contract is bit-determinism: identical
+	// spec, identical schedule, identical trace bytes, identical virtual-time
+	// simulation — on every host.
+	"workload": levelFull,
 	// The serving daemon measures real latencies and enforces real
 	// deadlines, so the wall clock is legitimate there — but its response
 	// bodies and /metrics text are replayed byte-for-byte, so map emission

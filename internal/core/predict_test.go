@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"agcm/internal/grid"
+	"agcm/internal/machine"
+)
+
+func predictConfig(nlon, nlat, nlayers, py, px int) Config {
+	return Config{
+		Spec:    grid.Spec{Nlon: nlon, Nlat: nlat, Nlayers: nlayers},
+		Machine: machine.Paragon(),
+		MeshPy:  py, MeshPx: px,
+		Filter: FilterFFT,
+	}
+}
+
+func TestPredictCostDeterministic(t *testing.T) {
+	cfg := predictConfig(36, 24, 3, 1, 1)
+	a, err := PredictCost(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PredictCost(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a <= 0 {
+		t.Fatalf("PredictCost not deterministic or non-positive: %g vs %g", a, b)
+	}
+}
+
+func TestPredictCostMonotone(t *testing.T) {
+	small := predictConfig(36, 24, 3, 1, 1)
+	oneStep, err := PredictCost(small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	threeSteps, err := PredictCost(small, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if threeSteps <= oneStep {
+		t.Fatalf("more steps not costlier: %g vs %g", threeSteps, oneStep)
+	}
+
+	big, err := PredictCost(predictConfig(72, 46, 9, 1, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= oneStep {
+		t.Fatalf("bigger grid not costlier: %g vs %g", big, oneStep)
+	}
+
+	// More ranks shrink the per-rank subdomain: the predicted critical
+	// path must drop even after communication charges.
+	meshed, err := PredictCost(predictConfig(72, 46, 9, 2, 2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meshed >= big {
+		t.Fatalf("2x2 mesh not cheaper than 1x1: %g vs %g", meshed, big)
+	}
+
+	slow := predictConfig(36, 24, 3, 1, 1)
+	slow.Machine = machine.Degraded(machine.Paragon(), 2)
+	// A degraded-machine config has no canonical wire form, but the oracle
+	// still orders it correctly for direct callers.
+	slowCost, err := PredictCost(slow, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowCost <= oneStep {
+		t.Fatalf("slower machine not costlier: %g vs %g", slowCost, oneStep)
+	}
+}
+
+func TestPredictCostMatchesCanonicalIdentity(t *testing.T) {
+	// Configs that canonicalize identically must predict identically: the
+	// oracle is a function of the ConfigKey.
+	a := predictConfig(36, 24, 3, 1, 1)
+	b := a
+	b.Dt = 0 // both default the same way
+	ca, err := PredictCost(a, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := PredictCost(b, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb {
+		t.Fatalf("canonically equal configs predict differently: %g vs %g", ca, cb)
+	}
+}
+
+func TestPredictCostRejectsBadInput(t *testing.T) {
+	if _, err := PredictCost(Config{}, 1); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if _, err := PredictCost(predictConfig(36, 24, 3, 1, 1), 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+}

@@ -363,7 +363,7 @@ func All(opt Options) ([]*Output, error) {
 		AblationPhysicsSchemes, AblationRingVsTree, AblationPairwiseRounds,
 		AblationCommPatterns, AblationPolarTreatment, AblationSP2,
 		AblationDegradedNode, AblationResolution, AblationLayerScaling,
-		CrashRecovery, Interconnect,
+		CrashRecovery, Interconnect, Scheduling,
 	}
 	var outs []*Output
 	for _, fn := range fns {
@@ -394,6 +394,7 @@ func ByID(id string, opt Options) (*Output, error) {
 		"ablation-layers":     AblationLayerScaling,
 		"crash-recovery":      CrashRecovery,
 		"interconnect":        Interconnect,
+		"scheduling":          Scheduling,
 	}
 	fn, ok := fns[id]
 	if !ok {
@@ -409,5 +410,5 @@ func IDs() []string {
 		"blockarray", "advection", "ablation-schemes", "ablation-topology",
 		"ablation-rounds", "ablation-comm", "ablation-polar", "ablation-sp2",
 		"ablation-degraded", "ablation-resolution", "ablation-layers",
-		"crash-recovery", "interconnect"}
+		"crash-recovery", "interconnect", "scheduling"}
 }

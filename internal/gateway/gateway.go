@@ -337,6 +337,11 @@ type request struct {
 	Steps     int             `json:"steps"`
 	Priority  string          `json:"priority"`
 	TimeoutMS int             `json:"timeout_ms"`
+	// SLO is the request's service-level class ("interactive" or "batch");
+	// empty derives it from priority, exactly as the backend does.  The
+	// gateway's hedging keys on the resolved class: only interactive
+	// requests are worth a second shard.
+	SLO string `json:"slo"`
 }
 
 // attemptResult is the outcome of one proxied attempt (or of the degraded
@@ -411,15 +416,26 @@ func (g *Gateway) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Sprintf("unknown priority %q", req.Priority)))
 		return
 	}
+	slo := req.SLO
+	if slo == "" {
+		slo = r.Header.Get(server.SLOHeader)
+	}
+	class, ok := server.ClassByName(slo, prio)
+	if !ok {
+		g.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Sprintf("unknown slo class %q", slo)))
+		return
+	}
 	key, err := server.JobKeyFor(cfg, steps)
 	if err != nil {
 		g.metrics.IncRequest("rejected")
 		writeJSON(w, http.StatusBadRequest, errorBody(err.Error()))
 		return
 	}
+	g.metrics.IncClassRequest(class.String())
 
 	g.budget.Deposit()
-	res, attempts := g.proxyWithRetries(r.Context(), key, prio, raw)
+	res, attempts := g.proxyWithRetries(r.Context(), key, prio, class, raw)
 	if res != nil && res.relayable() {
 		g.relay(w, res, attempts, "")
 		label := "ok"
@@ -478,7 +494,7 @@ func (g *Gateway) relay(w http.ResponseWriter, res *attemptResult, attempts int,
 // attempt, classify, and either relay, retry elsewhere (budget and backoff
 // permitting), or give up.  It returns the last result (nil if no attempt
 // ran) and the attempt count.
-func (g *Gateway) proxyWithRetries(ctx context.Context, key string, prio server.Priority, body []byte) (*attemptResult, int) {
+func (g *Gateway) proxyWithRetries(ctx context.Context, key string, prio server.Priority, class server.SLOClass, body []byte) (*attemptResult, int) {
 	var last *attemptResult
 	attempts := 0
 	lastIdx := -1
@@ -498,14 +514,17 @@ func (g *Gateway) proxyWithRetries(ctx context.Context, key string, prio server.
 		}
 		var res *attemptResult
 		var idx int
-		if retry == 0 && prio == server.High && g.opt.HedgeDelay > 0 {
-			res, idx = g.hedged(ctx, key, body)
+		// Only interactive requests hedge: with no explicit slo field the
+		// class derives from priority (high → interactive), so defaulted
+		// traffic hedges exactly as it did before SLO classes existed.
+		if retry == 0 && class == server.Interactive && g.opt.HedgeDelay > 0 {
+			res, idx = g.hedged(ctx, key, class, body)
 		} else {
 			b, probe, i := g.pick(key, lastIdx)
 			if b == nil {
 				break
 			}
-			res, idx = g.attempt(ctx, b, probe, body), i
+			res, idx = g.attempt(ctx, b, probe, class, body), i
 		}
 		if res == nil {
 			break
@@ -555,7 +574,7 @@ func (g *Gateway) pick(key string, exclude int) (b *backend, probe bool, idx int
 // attempt proxies one POST /v1/run to one backend, reads the full response,
 // classifies it, and feeds the breaker, cooldowns, metrics, and the latency
 // ring.
-func (g *Gateway) attempt(ctx context.Context, b *backend, probe bool, body []byte) *attemptResult {
+func (g *Gateway) attempt(ctx context.Context, b *backend, probe bool, class server.SLOClass, body []byte) *attemptResult {
 	actx, cancel := context.WithTimeout(ctx, g.opt.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.url+"/v1/run", bytes.NewReader(body))
@@ -564,6 +583,9 @@ func (g *Gateway) attempt(ctx context.Context, b *backend, probe bool, body []by
 		return &attemptResult{err: err}
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the resolved class so the backend's scheduler and per-class
+	// metrics see it even when the body has no explicit slo field.
+	req.Header.Set(server.SLOHeader, class.String())
 
 	b.inflight.Add(1)
 	start := time.Now()
@@ -628,7 +650,7 @@ func retryAfterDuration(h http.Header, fallback time.Duration) time.Duration {
 // next-ranked backend, budget permitting.  The first full response wins and
 // the loser is canceled via context.  Returns the winning result and its
 // backend index.
-func (g *Gateway) hedged(ctx context.Context, key string, body []byte) (*attemptResult, int) {
+func (g *Gateway) hedged(ctx context.Context, key string, class server.SLOClass, body []byte) (*attemptResult, int) {
 	b1, probe1, idx1 := g.pick(key, -1)
 	if b1 == nil {
 		return nil, -1
@@ -650,7 +672,7 @@ func (g *Gateway) hedged(ctx context.Context, key string, body []byte) (*attempt
 	g.stopped.Add(1)
 	go func() {
 		defer g.stopped.Done()
-		ch <- outcome{g.attempt(hctx, b1, probe1, body), idx1}
+		ch <- outcome{g.attempt(hctx, b1, probe1, class, body), idx1}
 	}()
 
 	timer := time.NewTimer(g.hedgeDelay())
@@ -675,7 +697,7 @@ func (g *Gateway) hedged(ctx context.Context, key string, body []byte) (*attempt
 	g.stopped.Add(1)
 	go func() {
 		defer g.stopped.Done()
-		ch <- outcome{g.attempt(hctx, b2, probe2, body), idx2}
+		ch <- outcome{g.attempt(hctx, b2, probe2, class, body), idx2}
 	}()
 
 	//lint:allow ctxflow bounded wait: both attempts are deadline-bound by AttemptTimeout and canceled through hctx on both caller cancel and Close

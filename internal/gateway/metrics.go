@@ -34,6 +34,10 @@ type metrics struct {
 	retryExhausted     uint64
 	hedges             map[string]uint64 // launched, won, lost
 	probes             map[string]uint64 // ok, fail
+	// classRequests counts validated client requests by SLO class; it
+	// reconciles against the backends' agcmd_class_requests_total the same
+	// way the edge ledger does (hedge losers are extra backend-side counts).
+	classRequests map[string]uint64
 }
 
 func newGatewayMetrics() *metrics {
@@ -45,7 +49,22 @@ func newGatewayMetrics() *metrics {
 		breakerTransitions: make(map[string]map[string]uint64),
 		hedges:             make(map[string]uint64),
 		probes:             make(map[string]uint64),
+		classRequests:      make(map[string]uint64),
 	}
+}
+
+// IncClassRequest counts one validated client request in its SLO class.
+func (m *metrics) IncClassRequest(class string) {
+	m.mu.Lock()
+	m.classRequests[class]++
+	m.mu.Unlock()
+}
+
+// ClassRequests returns one class's validated-request count (test hook).
+func (m *metrics) ClassRequests(class string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.classRequests[class]
 }
 
 func (m *metrics) IncRequest(result string) {
@@ -309,4 +328,17 @@ func (m *metrics) WriteText(w io.Writer, g gatewayGauges) {
 	fmt.Fprintf(w, "# HELP agcmgw_retry_budget_tokens Retry-budget tokens currently available.\n")
 	fmt.Fprintf(w, "# TYPE agcmgw_retry_budget_tokens gauge\n")
 	fmt.Fprintf(w, "agcmgw_retry_budget_tokens %s\n", strconv.FormatFloat(g.BudgetTokens, 'g', -1, 64))
+
+	// Appended after the historical layout so pre-SLO scrapes keep their
+	// exact byte prefix.
+	fmt.Fprintf(w, "# HELP agcmgw_class_requests_total Validated client requests by SLO class.\n")
+	fmt.Fprintf(w, "# TYPE agcmgw_class_requests_total counter\n")
+	classes := make([]string, 0, len(m.classRequests))
+	for k := range m.classRequests {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	for _, k := range classes {
+		fmt.Fprintf(w, "agcmgw_class_requests_total{class=%q} %d\n", k, m.classRequests[k])
+	}
 }

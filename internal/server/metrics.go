@@ -26,12 +26,34 @@ type metrics struct {
 	overflow uint64            // beyond the last bound (the +Inf bucket's share)
 	sum      float64
 	count    uint64
+
+	// Per-SLO-class accounting.  classRequests counts every validated
+	// request by class (hits, coalesced joins and sheds included, so a load
+	// client's per-class ledger reconciles exactly); classJobs holds the
+	// executed-job latency histogram plus the wait/exec sums the fairness
+	// gauge is derived from.
+	classRequests map[string]uint64
+	classJobs     map[string]*classHist
+}
+
+// classHist is one SLO class's executed-job accounting: a latency histogram
+// over jobBuckets (queue wait + execution) and the wait/exec sums behind the
+// slowdown gauge.
+type classHist struct {
+	buckets  []uint64
+	overflow uint64
+	sum      float64
+	count    uint64
+	waitSum  float64
+	execSum  float64
 }
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests: make(map[string]uint64),
-		buckets:  make([]uint64, len(jobBuckets)),
+		requests:      make(map[string]uint64),
+		buckets:       make([]uint64, len(jobBuckets)),
+		classRequests: make(map[string]uint64),
+		classJobs:     make(map[string]*classHist),
 	}
 }
 
@@ -56,6 +78,49 @@ func (m *metrics) IncRun(failed bool) {
 	if failed {
 		m.runErrs++
 	}
+	m.mu.Unlock()
+}
+
+// IncClass counts one validated request in its SLO class.
+func (m *metrics) IncClass(class string) {
+	m.mu.Lock()
+	m.classRequests[class]++
+	m.mu.Unlock()
+}
+
+// ClassRequests returns one class's validated-request count (reconcile hook).
+func (m *metrics) ClassRequests(class string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.classRequests[class]
+}
+
+// ObserveClassJob records one executed job's queue wait and execution time
+// against its SLO class; the histogram observes their sum (the job's
+// end-to-end latency inside the daemon).
+func (m *metrics) ObserveClassJob(class string, waitSeconds, execSeconds float64) {
+	m.mu.Lock()
+	h := m.classJobs[class]
+	if h == nil {
+		h = &classHist{buckets: make([]uint64, len(jobBuckets))}
+		m.classJobs[class] = h
+	}
+	total := waitSeconds + execSeconds
+	placed := false
+	for i, b := range jobBuckets {
+		if total <= b {
+			h.buckets[i]++
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		h.overflow++
+	}
+	h.sum += total
+	h.count++
+	h.waitSum += waitSeconds
+	h.execSum += execSeconds
 	m.mu.Unlock()
 }
 
@@ -85,6 +150,8 @@ type gauges struct {
 	CacheEntries int
 	CacheEvicted uint64
 	Draining     bool
+	// Scheduler is the admission policy's name, emitted as an info metric.
+	Scheduler string
 
 	// Disk-tier state; emitted only when DiskEnabled, so a daemon without
 	// a cache directory scrapes exactly as before.
@@ -168,6 +235,50 @@ func (m *metrics) WriteText(w io.Writer, g gauges) {
 	fmt.Fprintf(w, "agcmd_job_seconds_bucket{le=\"+Inf\"} %d\n", m.count)
 	fmt.Fprintf(w, "agcmd_job_seconds_sum %s\n", fmtFloat(m.sum))
 	fmt.Fprintf(w, "agcmd_job_seconds_count %d\n", m.count)
+
+	// Per-class families are appended after the historical layout so a
+	// scrape of a daemon that never saw an SLO-classed request still starts
+	// with exactly the bytes it always produced.
+	fmt.Fprintf(w, "# HELP agcmd_scheduler_info Admission scheduler policy (always 1).\n")
+	fmt.Fprintf(w, "# TYPE agcmd_scheduler_info gauge\n")
+	fmt.Fprintf(w, "agcmd_scheduler_info{scheduler=%q} 1\n", g.Scheduler)
+	fmt.Fprintf(w, "# HELP agcmd_class_requests_total Validated requests by SLO class.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_class_requests_total counter\n")
+	classes := make([]string, 0, len(m.classRequests))
+	for k := range m.classRequests {
+		classes = append(classes, k)
+	}
+	sort.Strings(classes)
+	for _, k := range classes {
+		fmt.Fprintf(w, "agcmd_class_requests_total{class=%q} %d\n", k, m.classRequests[k])
+	}
+	fmt.Fprintf(w, "# HELP agcmd_class_job_seconds Executed-job latency (queue wait + execution) by SLO class.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_class_job_seconds histogram\n")
+	jobClasses := make([]string, 0, len(m.classJobs))
+	for k := range m.classJobs {
+		jobClasses = append(jobClasses, k)
+	}
+	sort.Strings(jobClasses)
+	maxSlowdown := 0.0
+	for _, k := range jobClasses {
+		h := m.classJobs[k]
+		cum := uint64(0)
+		for i, b := range jobBuckets {
+			cum += h.buckets[i]
+			fmt.Fprintf(w, "agcmd_class_job_seconds_bucket{class=%q,le=%q} %d\n", k, fmtFloat(b), cum)
+		}
+		fmt.Fprintf(w, "agcmd_class_job_seconds_bucket{class=%q,le=\"+Inf\"} %d\n", k, h.count)
+		fmt.Fprintf(w, "agcmd_class_job_seconds_sum{class=%q} %s\n", k, fmtFloat(h.sum))
+		fmt.Fprintf(w, "agcmd_class_job_seconds_count{class=%q} %d\n", k, h.count)
+		if h.execSum > 0 {
+			if s := (h.waitSum + h.execSum) / h.execSum; s > maxSlowdown {
+				maxSlowdown = s
+			}
+		}
+	}
+	fmt.Fprintf(w, "# HELP agcmd_max_class_slowdown Max over classes of (wait+exec)/exec — the fairness metric.\n")
+	fmt.Fprintf(w, "# TYPE agcmd_max_class_slowdown gauge\n")
+	fmt.Fprintf(w, "agcmd_max_class_slowdown %s\n", fmtFloat(maxSlowdown))
 }
 
 // AvgJobSeconds returns the mean observed job latency (0 before any job):

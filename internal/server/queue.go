@@ -68,14 +68,28 @@ type Job struct {
 	Timeout time.Duration
 	// Priority is the admission class the job was queued under.
 	Priority Priority
+	// Class is the job's SLO class; class-aware schedulers order by it and
+	// the per-class metrics are labeled with it.
+	Class SLOClass
+	// Cost is the machine cost model's predicted run time
+	// (core.PredictCost) — the sjf scheduler's oracle.
+	Cost float64
+	// Seq is the admission sequence number; every scheduler uses it as the
+	// final tie-break, so scheduling is deterministic for a fixed arrival
+	// order.
+	Seq uint64
 
 	flight *flight
+	// enqueued is when the job entered the scheduler; the worker derives
+	// queue-wait time (and the fairness metric's slowdown) from it.
+	enqueued time.Time
 }
 
 // queue is the bounded FIFO+priority admission queue in front of the worker
-// pool.  Push never blocks: when the queue is full the request is shed at
-// the door (the HTTP layer turns that into 429 + Retry-After), which keeps
-// queueing delay bounded instead of letting latency grow without limit.
+// pool — the "fcfs" Scheduler, and the default.  Push never blocks: when
+// the queue is full the request is shed at the door (the HTTP layer turns
+// that into 429 + Retry-After), which keeps queueing delay bounded instead
+// of letting latency grow without limit.
 type queue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -91,6 +105,9 @@ func newQueue(capacity int) *queue {
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
+
+// Name implements Scheduler.
+func (q *queue) Name() string { return "fcfs" }
 
 // Push admits a job, or reports false when the queue is full or closed.
 func (q *queue) Push(j *Job) bool {

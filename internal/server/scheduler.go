@@ -1,0 +1,195 @@
+package server
+
+// The scheduler seam: the admission queue behind POST /v1/run is a
+// pluggable policy.  All schedulers share the contract of the original
+// queue — bounded, non-blocking Push that sheds at the door, blocking Pop,
+// Close-then-drain — and differ only in which admitted job a freed worker
+// receives next:
+//
+//   fcfs      admission-priority bands, FIFO within (the historical
+//             behavior, and still the default),
+//   priority  SLO class first (interactive before batch), then admission
+//             priority, then arrival,
+//   sjf       cheapest predicted job first (the machine cost model's
+//             PredictCost is the oracle), arrival breaks ties.
+//
+// Scheduling never changes results — the same config produces the same
+// bytes under any policy — only who waits.
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+)
+
+// SLOClass is a request's service-level class, orthogonal to admission
+// Priority: Priority says who wins a seat in the queue under the fcfs
+// policy, SLOClass says what the client's latency expectation is — which
+// class-aware schedulers exploit and per-class metrics report.
+type SLOClass int
+
+const (
+	// Interactive is latency-sensitive traffic: operator probes, live
+	// sweeps.  Only interactive requests are hedged by the gateway.
+	Interactive SLOClass = iota
+	// Batch is throughput traffic that tolerates queueing.
+	Batch
+	numClasses
+)
+
+// String returns the class name used in requests and metric labels.
+func (c SLOClass) String() string {
+	switch c {
+	case Interactive:
+		return "interactive"
+	case Batch:
+		return "batch"
+	}
+	return "invalid"
+}
+
+// ClassByName parses a request's slo field.  The empty string derives the
+// class from the admission priority — high-priority requests are
+// interactive, everything else batch — which preserves the serving stack's
+// pre-SLO behavior exactly (hedging used to key on priority alone).
+func ClassByName(name string, prio Priority) (SLOClass, bool) {
+	switch name {
+	case "":
+		if prio == High {
+			return Interactive, true
+		}
+		return Batch, true
+	case "interactive":
+		return Interactive, true
+	case "batch":
+		return Batch, true
+	}
+	return 0, false
+}
+
+// Scheduler is the admission queue's policy seam.  Implementations must be
+// safe for concurrent use; Push must never block (a full or closed
+// scheduler sheds), Pop blocks until a job or close-and-drained, and Close
+// stops admission while Pop keeps draining accepted jobs.
+type Scheduler interface {
+	// Name is the policy name reported in /metrics.
+	Name() string
+	// Push admits a job, or reports false when full or closed.
+	Push(*Job) bool
+	// Pop blocks for the next job under the policy's order and reports
+	// false once the scheduler is closed and drained.
+	Pop() (*Job, bool)
+	// Close stops admission; accepted jobs still drain through Pop.
+	Close()
+	// Depth returns the number of queued (not yet popped) jobs.
+	Depth() int
+}
+
+// SchedulerNames lists the available policies, default first.
+func SchedulerNames() []string { return []string{"fcfs", "priority", "sjf"} }
+
+// NewScheduler builds the named scheduling policy over a bounded queue.
+// The empty name is fcfs, the historical default.
+func NewScheduler(name string, capacity int) (Scheduler, error) {
+	switch name {
+	case "", "fcfs":
+		return newQueue(capacity), nil
+	case "priority":
+		return newHeapSched("priority", capacity, func(a, b *Job) bool {
+			if a.Class != b.Class {
+				return a.Class < b.Class
+			}
+			if a.Priority != b.Priority {
+				return a.Priority < b.Priority
+			}
+			return a.Seq < b.Seq
+		}), nil
+	case "sjf":
+		return newHeapSched("sjf", capacity, func(a, b *Job) bool {
+			if a.Cost != b.Cost {
+				return a.Cost < b.Cost
+			}
+			return a.Seq < b.Seq
+		}), nil
+	}
+	return nil, fmt.Errorf("server: unknown scheduler %q (fcfs, priority, sjf)", name)
+}
+
+// jobPQ is the heap under a heapSched; less must be a strict total order
+// (every policy tie-breaks on the admission sequence number, which is
+// unique), so Pop order is deterministic for any fixed Push order.
+type jobPQ struct {
+	jobs []*Job
+	less func(a, b *Job) bool
+}
+
+func (pq *jobPQ) Len() int           { return len(pq.jobs) }
+func (pq *jobPQ) Less(i, j int) bool { return pq.less(pq.jobs[i], pq.jobs[j]) }
+func (pq *jobPQ) Swap(i, j int)      { pq.jobs[i], pq.jobs[j] = pq.jobs[j], pq.jobs[i] }
+func (pq *jobPQ) Push(x any)         { pq.jobs = append(pq.jobs, x.(*Job)) }
+func (pq *jobPQ) Pop() any {
+	old := pq.jobs
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	pq.jobs = old[:n-1]
+	return x
+}
+
+// heapSched is a bounded priority-queue scheduler with the same
+// shed/drain contract as the fcfs queue.
+type heapSched struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	name   string
+	cap    int
+	pq     jobPQ
+	closed bool
+}
+
+func newHeapSched(name string, capacity int, less func(a, b *Job) bool) *heapSched {
+	h := &heapSched{name: name, cap: capacity, pq: jobPQ{less: less}}
+	h.cond = sync.NewCond(&h.mu)
+	return h
+}
+
+func (h *heapSched) Name() string { return h.name }
+
+func (h *heapSched) Push(j *Job) bool {
+	h.mu.Lock()
+	if h.closed || len(h.pq.jobs) >= h.cap {
+		h.mu.Unlock()
+		return false
+	}
+	heap.Push(&h.pq, j)
+	h.mu.Unlock()
+	h.cond.Signal()
+	return true
+}
+
+func (h *heapSched) Pop() (*Job, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for {
+		if len(h.pq.jobs) > 0 {
+			return heap.Pop(&h.pq).(*Job), true
+		}
+		if h.closed {
+			return nil, false
+		}
+		h.cond.Wait()
+	}
+}
+
+func (h *heapSched) Close() {
+	h.mu.Lock()
+	h.closed = true
+	h.mu.Unlock()
+	h.cond.Broadcast()
+}
+
+func (h *heapSched) Depth() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pq.jobs)
+}

@@ -49,6 +49,9 @@ type Options struct {
 	// QueueCapacity bounds the admission queue across all priority
 	// classes (default 64); beyond it requests are shed with 429.
 	QueueCapacity int
+	// Scheduler selects the admission-queue policy: "fcfs" (default),
+	// "priority", or "sjf" (see NewScheduler).
+	Scheduler string
 	// CacheEntries bounds the result cache (default 1024 entries).
 	CacheEntries int
 	// JobTimeout is the default per-job execution budget (default 60s).
@@ -117,7 +120,7 @@ type flight struct {
 // http.Handler face.
 type Server struct {
 	opt     Options
-	queue   *queue
+	queue   Scheduler
 	cache   *cache
 	store   *frame.Store // disk tier; nil when Options.CacheDir is empty
 	metrics *metrics
@@ -127,18 +130,23 @@ type Server struct {
 
 	inflight atomic.Int64
 	runs     atomic.Int64
+	seq      atomic.Uint64
 	draining atomic.Bool
 	wg       sync.WaitGroup
 }
 
 // New builds a Server and starts its worker pool.  Call Drain to stop.
-// The only error source is opening the disk cache tier; with CacheDir
-// unset, New cannot fail.
+// The error sources are an unknown scheduler name and opening the disk
+// cache tier; with Scheduler and CacheDir unset, New cannot fail.
 func New(opt Options) (*Server, error) {
 	opt = opt.withDefaults()
+	sched, err := NewScheduler(opt.Scheduler, opt.QueueCapacity)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		opt:     opt,
-		queue:   newQueue(opt.QueueCapacity),
+		queue:   sched,
 		cache:   newCache(opt.CacheEntries),
 		metrics: newMetrics(),
 		flights: make(map[string]*flight),
@@ -160,6 +168,9 @@ func New(opt Options) (*Server, error) {
 // Runs returns how many simulations have actually executed — the
 // single-flight and cache tests' run counter.
 func (s *Server) Runs() int64 { return s.runs.Load() }
+
+// SchedulerName reports the admission policy the server was built with.
+func (s *Server) SchedulerName() string { return s.queue.Name() }
 
 // Handler returns the daemon's HTTP mux: POST /v1/run, GET /v1/cache/{key},
 // GET /healthz, GET /readyz, GET /metrics.
@@ -207,9 +218,19 @@ type request struct {
 	Steps int `json:"steps"`
 	// Priority is the admission class: "high", "normal" (default), "low".
 	Priority string `json:"priority"`
+	// SLO is the service-level class: "interactive" or "batch".  Empty
+	// derives it from the priority (high ⇒ interactive), preserving the
+	// pre-SLO behavior of every existing client.  The X-Agcm-SLO request
+	// header is the fallback when the body leaves it empty, so a gateway
+	// can stamp the class without rewriting bodies.
+	SLO string `json:"slo"`
 	// TimeoutMS lowers the server's per-job execution budget.
 	TimeoutMS int `json:"timeout_ms"`
 }
+
+// SLOHeader is the request/response header carrying the SLO class between
+// gateway and backends.
+const SLOHeader = "X-Agcm-SLO"
 
 // errorBody is the JSON error envelope.  Marshaling a one-string struct
 // cannot fail, but the error is checked anyway (a silent `_` here once hid
@@ -352,6 +373,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Sprintf("unknown priority %q", req.Priority)))
 		return
 	}
+	slo := req.SLO
+	if slo == "" {
+		slo = r.Header.Get(SLOHeader)
+	}
+	class, ok := ClassByName(slo, prio)
+	if !ok {
+		s.metrics.IncRequest("rejected")
+		writeJSON(w, http.StatusBadRequest, errorBody(fmt.Sprintf("unknown slo class %q", slo)))
+		return
+	}
 	// Canonicalize once: validates the config, yields the echoed form and
 	// the cache address.
 	canonical, err := cfg.CanonicalJSON()
@@ -372,6 +403,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			timeout = d
 		}
 	}
+	// Every request that passed validation counts toward its class — hits,
+	// coalesced waits, and sheds included — so a load client's per-class
+	// issue counts reconcile exactly against this family.
+	s.metrics.IncClass(class.String())
 
 	// Cache, single-flight and admission decide under one lock, so an
 	// identical concurrent request can never slip between the cache miss
@@ -411,6 +446,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The sjf oracle: predicted run time from the machine cost model.  A
+	// config that canonicalized cannot fail prediction; the zero fallback
+	// just means "schedule it first" rather than an error path.
+	cost, err := core.PredictCost(cfg, steps)
+	if err != nil {
+		cost = 0
+	}
 	job := &Job{
 		Key:       key,
 		Config:    cfg,
@@ -418,7 +460,11 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Steps:     steps,
 		Timeout:   timeout,
 		Priority:  prio,
+		Class:     class,
+		Cost:      cost,
+		Seq:       s.seq.Add(1),
 		flight:    f,
+		enqueued:  time.Now(),
 	}
 	if !s.queue.Push(job) {
 		if s.draining.Load() {
@@ -512,6 +558,8 @@ func (s *Server) worker() {
 		s.runs.Add(1)
 		s.metrics.IncRun(err != nil)
 		s.metrics.ObserveJob(elapsed.Seconds())
+		s.metrics.ObserveClassJob(job.Class.String(),
+			start.Sub(job.enqueued).Seconds(), elapsed.Seconds())
 
 		var status int
 		var body []byte
@@ -619,6 +667,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		CacheEntries: s.cache.Len(),
 		CacheEvicted: s.cache.Evictions(),
 		Draining:     s.draining.Load(),
+		Scheduler:    s.queue.Name(),
 	}
 	if s.store != nil {
 		g.DiskEnabled = true

@@ -1,0 +1,99 @@
+package workload
+
+// Seeded interarrival samplers.  Each process draws a unit-mean positive
+// interarrival gap; the generator scales gaps by 1/rate and stretches them
+// through the diurnal modulation.  All sampling is via math/rand with an
+// explicit source, so a spec's seed fully determines the arrival sequence.
+
+import (
+	"math"
+	"math/rand"
+)
+
+// sampler draws one unit-mean interarrival gap.
+type sampler func(rng *rand.Rand) float64
+
+// newSampler returns the unit-mean gap sampler for a canonicalized arrival
+// process.  Callers pass a validated Arrival (WithDefaults already ran), so
+// an unknown process is a programming error worth a panic.
+func newSampler(a Arrival) sampler {
+	switch a.Process {
+	case "poisson":
+		// Exponential interarrivals: mean 1 by construction.
+		return func(rng *rand.Rand) float64 { return rng.ExpFloat64() }
+	case "gamma":
+		// Gamma(k, 1/k) has mean 1; k < 1 clumps arrivals into bursts,
+		// k > 1 regularizes them.
+		k := a.Shape
+		return func(rng *rand.Rand) float64 { return sampleGamma(rng, k) / k }
+	case "weibull":
+		// Weibull(k) scaled by 1/Gamma(1+1/k) has mean 1.
+		k := a.Shape
+		scale := 1 / math.Gamma(1+1/k)
+		return func(rng *rand.Rand) float64 {
+			return scale * sampleWeibull(rng, k)
+		}
+	}
+	panic("workload: newSampler on unvalidated arrival process " + a.Process)
+}
+
+// sampleGamma draws from Gamma(shape, scale=1) via Marsaglia–Tsang
+// squeeze-and-reject (for shape >= 1) with the standard boost for
+// shape < 1: Gamma(k) = Gamma(k+1) * U^(1/k).
+func sampleGamma(rng *rand.Rand, shape float64) float64 {
+	if shape < 1 {
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return sampleGamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// sampleWeibull draws from Weibull(shape, scale=1) by inverse CDF:
+// (-ln U)^(1/shape).
+func sampleWeibull(rng *rand.Rand, shape float64) float64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return math.Pow(-math.Log(u), 1/shape)
+}
+
+// diurnalRate returns the instantaneous rate multiplier at virtual time t
+// seconds: 1 + A*sin(2*pi*(t+phase)/period).  With A in [0, 1) the
+// multiplier stays positive, so arrivals never stall.
+func diurnalRate(a Arrival, t float64) float64 {
+	if a.DiurnalAmplitude == 0 {
+		return 1
+	}
+	return 1 + a.DiurnalAmplitude*math.Sin(2*math.Pi*(t+a.DiurnalPhaseSec)/a.DiurnalPeriodSec)
+}
+
+// nextArrival advances virtual time from t by one sampled gap: the
+// unit-mean draw is scaled to the spec's mean rate, then stretched by the
+// instantaneous diurnal multiplier at the gap's start.  Evaluating the
+// modulation at the gap start (rather than integrating it across the gap)
+// keeps the sampler cheap and exactly reproducible; for modulation periods
+// much longer than a mean gap the difference is negligible.
+func nextArrival(a Arrival, rng *rand.Rand, draw sampler, t float64) float64 {
+	gap := draw(rng) / (a.RatePerSec * diurnalRate(a, t))
+	return t + gap
+}
