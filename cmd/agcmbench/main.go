@@ -5,6 +5,7 @@
 //	agcmbench -experiment table8        # one table
 //	agcmbench -list                     # valid experiment names
 //	agcmbench -bench-json BENCH.json    # host-performance regression report
+//	agcmbench -calibrate BENCH_10.json  # roofline observe-predict-calibrate loop
 package main
 
 import (
@@ -29,6 +30,10 @@ func main() {
 		"run the frame-format and disk-tier benchmark suite and write the JSON report to this file ('-' for stdout)")
 	bench9JSON := flag.String("bench9-json", "",
 		"run the deterministic scheduler comparison over the reference workload and write the JSON report to this file ('-' for stdout)")
+	calibrate := flag.String("calibrate", "",
+		"run the roofline observe-predict-calibrate loop (host micro+phase benchmarks, deterministic fit, paper-machine grid) and write the JSON report to this file ('-' for stdout)")
+	calibOut := flag.String("calib-out", "",
+		"with -calibrate: also write the fitted host calibration (canonical JSON) to this file, ready for agcmd -cost-oracle roofline:<file>")
 	topologyStr := flag.String("topology", "",
 		"route every run over an interconnect model: auto, mesh[:XxY], torus[:XxYxZ], switch")
 	placementStr := flag.String("placement", "",
@@ -53,6 +58,13 @@ func main() {
 	if *bench9JSON != "" {
 		writeBench9JSON(*bench9JSON)
 		return
+	}
+	if *calibrate != "" {
+		writeBench10JSON(*calibrate, *calibOut)
+		return
+	}
+	if *calibOut != "" {
+		fatal(fmt.Errorf("-calib-out requires -calibrate"))
 	}
 	opt := experiments.Options{
 		MeasuredSteps: *steps,
@@ -157,6 +169,43 @@ func writeBench9JSON(path string) {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+// writeBench10JSON runs the roofline calibration loop: host micro- and
+// phase-benchmarks, the deterministic least-squares fit, and the
+// paper-machine prediction grid.  The host sections are wall-clock and gated
+// by thresholds in CI; the machine sections are deterministic.  When
+// calibOut is non-empty the fitted host calibration is also written there as
+// canonical JSON for `agcmd -cost-oracle roofline:<file>`.
+func writeBench10JSON(path, calibOut string) {
+	rep, err := bench.NewBench10Report()
+	if err != nil {
+		fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+	} else {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if calibOut != "" {
+		raw, err := rep.Host.Calib.CanonicalJSON()
+		if err != nil {
+			fatal(err)
+		}
+		raw = append(raw, '\n')
+		if err := os.WriteFile(calibOut, raw, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", calibOut)
+	}
 }
 
 func fatal(err error) {

@@ -21,15 +21,44 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"agcm/internal/core"
+	"agcm/internal/roofline"
 	"agcm/internal/server"
 )
+
+// buildOracle resolves the -cost-oracle flag: "" or "linear" keeps the
+// built-in core.PredictCost, "roofline" uses the baked-in reference host
+// calibration, and "roofline:<file>" loads a fitted calibration written by
+// `agcmbench -calibrate -calib-out <file>` on this host.
+func buildOracle(spec string) (core.CostOracle, error) {
+	switch {
+	case spec == "" || spec == "linear":
+		return nil, nil
+	case spec == "roofline":
+		return roofline.NewMachine(roofline.DefaultHost())
+	case strings.HasPrefix(spec, "roofline:"):
+		path := strings.TrimPrefix(spec, "roofline:")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("reading calibration %q: %w", path, err)
+		}
+		calib, err := roofline.ParseCalib(data)
+		if err != nil {
+			return nil, err
+		}
+		return roofline.NewMachine(calib)
+	}
+	return nil, fmt.Errorf("unknown cost oracle %q (linear, roofline, roofline:<calib.json>)", spec)
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -43,7 +72,13 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "disk cache tier directory: finished runs persist here and survive restarts (empty = memory only)")
 	cacheDiskBytes := flag.Int64("cache-disk-bytes", 0, "disk cache tier byte budget (0 = default 256 MiB)")
 	scheduler := flag.String("scheduler", "fcfs", "admission scheduling policy: fcfs, priority or sjf")
+	costOracle := flag.String("cost-oracle", "linear", "sjf job-cost oracle: linear, roofline, or roofline:<calib.json>")
 	flag.Parse()
+
+	oracle, err := buildOracle(*costOracle)
+	if err != nil {
+		log.Fatalf("agcmd: %v", err)
+	}
 
 	s, err := server.New(server.Options{
 		Workers:        *workers,
@@ -55,6 +90,7 @@ func main() {
 		BackendID:      *backendID,
 		CacheDir:       *cacheDir,
 		CacheDiskBytes: *cacheDiskBytes,
+		CostOracle:     oracle,
 	})
 	if err != nil {
 		log.Fatalf("agcmd: %v", err)

@@ -75,6 +75,12 @@ var nondetermScope = map[string]determinismLevel{
 	// spec, identical schedule, identical trace bytes, identical virtual-time
 	// simulation — on every host.
 	"workload": levelFull,
+	// The roofline model's contract is the same: kernel counts are pure
+	// functions of the config, and the least-squares fit must produce
+	// bit-identical coefficients for any sample insertion order.  The
+	// wall-clock *observation* side of its calibration loop lives in
+	// internal/bench, which is exempt.
+	"roofline": levelFull,
 	// The serving daemon measures real latencies and enforces real
 	// deadlines, so the wall clock is legitimate there — but its response
 	// bodies and /metrics text are replayed byte-for-byte, so map emission

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"agcm/internal/grid"
+	"agcm/internal/machine"
+)
+
+// TestPredictCostDegenerateConfigs table-drives the edge cases the oracle
+// front door must reject: the sjf scheduler relies on an error (not a bogus
+// number) to trigger its fcfs fallback.
+func TestPredictCostDegenerateConfigs(t *testing.T) {
+	good := predictConfig(36, 24, 3, 1, 1)
+	cases := []struct {
+		name  string
+		cfg   Config
+		steps int
+	}{
+		{"zero config", Config{}, 1},
+		{"zero steps", good, 0},
+		{"negative steps", good, -3},
+		{"zero ranks", func() Config { c := good; c.MeshPy, c.MeshPx = 0, 0; return c }(), 1},
+		{"zero mesh py", func() Config { c := good; c.MeshPy = 0; return c }(), 1},
+		{"negative mesh px", func() Config { c := good; c.MeshPx = -2; return c }(), 1},
+		{"nil machine", func() Config { c := good; c.Machine = nil; return c }(), 1},
+		{"degenerate grid", func() Config { c := good; c.Spec = grid.Spec{Nlon: 2, Nlat: 2, Nlayers: 0}; return c }(), 1},
+		{"negative dt", func() Config { c := good; c.Dt = -1; return c }(), 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := PredictCost(tc.cfg, tc.steps); err == nil {
+				t.Fatalf("PredictCost accepted %s", tc.name)
+			}
+			// The oracle front door must reject identically, and must do so
+			// before consulting any installed oracle.
+			oracle := &countingOracle{seconds: 42}
+			if _, err := PredictCostWith(oracle, tc.cfg, tc.steps); err == nil {
+				t.Fatalf("PredictCostWith accepted %s", tc.name)
+			}
+			if oracle.calls != 0 {
+				t.Fatalf("oracle consulted for %s", tc.name)
+			}
+		})
+	}
+}
+
+type countingOracle struct {
+	seconds float64
+	err     error
+	calls   int
+}
+
+func (o *countingOracle) Name() string { return "counting" }
+
+func (o *countingOracle) PredictSeconds(cfg Config, steps int) (float64, error) {
+	o.calls++
+	if o.err != nil {
+		return 0, o.err
+	}
+	return o.seconds, nil
+}
+
+func TestPredictCostWithNilMatchesLinear(t *testing.T) {
+	cfg := predictConfig(36, 24, 3, 2, 2)
+	want, err := PredictCost(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := PredictCostWith(nil, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nil oracle diverges from PredictCost: %g vs %g", got, want)
+	}
+}
+
+func TestPredictCostWithConsultsOracle(t *testing.T) {
+	cfg := predictConfig(36, 24, 3, 1, 1)
+	oracle := &countingOracle{seconds: 7.5}
+	got, err := PredictCostWith(oracle, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7.5 || oracle.calls != 1 {
+		t.Fatalf("oracle not consulted exactly once: got %g, calls %d", got, oracle.calls)
+	}
+
+	failing := &countingOracle{err: fmt.Errorf("no price")}
+	if _, err := PredictCostWith(failing, cfg, 2); err == nil {
+		t.Fatal("oracle error swallowed")
+	}
+}
+
+func TestNormalizedFillsDefaults(t *testing.T) {
+	cfg := Config{
+		Spec:    grid.Spec{Nlon: 36, Nlat: 24, Nlayers: 3},
+		Machine: machine.Paragon(),
+		MeshPy:  1, MeshPx: 1,
+	}
+	norm, err := cfg.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Dt <= 0 || norm.WarmupSteps != 2 || norm.PhysicsRounds != 2 {
+		t.Fatalf("defaults not applied: dt=%g warmup=%d rounds=%d",
+			norm.Dt, norm.WarmupSteps, norm.PhysicsRounds)
+	}
+	if _, err := (Config{}).Normalized(); err == nil {
+		t.Fatal("Normalized accepted the zero config")
+	}
+}

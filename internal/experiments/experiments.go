@@ -363,7 +363,7 @@ func All(opt Options) ([]*Output, error) {
 		AblationPhysicsSchemes, AblationRingVsTree, AblationPairwiseRounds,
 		AblationCommPatterns, AblationPolarTreatment, AblationSP2,
 		AblationDegradedNode, AblationResolution, AblationLayerScaling,
-		CrashRecovery, Interconnect, Scheduling,
+		CrashRecovery, Interconnect, Scheduling, Roofline,
 	}
 	var outs []*Output
 	for _, fn := range fns {
@@ -395,6 +395,7 @@ func ByID(id string, opt Options) (*Output, error) {
 		"crash-recovery":      CrashRecovery,
 		"interconnect":        Interconnect,
 		"scheduling":          Scheduling,
+		"roofline":            Roofline,
 	}
 	fn, ok := fns[id]
 	if !ok {
@@ -410,5 +411,5 @@ func IDs() []string {
 		"blockarray", "advection", "ablation-schemes", "ablation-topology",
 		"ablation-rounds", "ablation-comm", "ablation-polar", "ablation-sp2",
 		"ablation-degraded", "ablation-resolution", "ablation-layers",
-		"crash-recovery", "interconnect", "scheduling"}
+		"crash-recovery", "interconnect", "scheduling", "roofline"}
 }

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"agcm/internal/machine"
+	"agcm/internal/roofline"
+	"agcm/internal/stats"
+)
+
+// Roofline closes the observe-predict-calibrate loop in virtual time: for
+// each modelled machine — the paper trio plus a cluster of host-CPU nodes —
+// it simulates the calibration grid (roofline.MachineCalibPoints: the
+// standard 2x2.5x9 run across processor meshes, plus the convolution-filter
+// and layer-count points that decorrelate the kernel classes), derives a
+// roofline calibration from the machine model, fits the per-kernel-class
+// efficiencies against the simulated timings by the deterministic least
+// squares, and tabulates predicted against measured seconds per simulated
+// day.  The wall-clock half of the loop (real host benchmarks feeding the
+// same fit) lives in `agcmbench -calibrate`; this experiment is its
+// bit-deterministic twin, runnable anywhere and diffable in CI.
+func Roofline(opt Options) (*Output, error) {
+	machines := append(machine.All(), machine.Host())
+	tbl := &stats.Table{
+		Title:  "Roofline model: predicted vs simulated whole-code times, 2x2.5 grid",
+		Header: []string{"Machine", "Config", "Simulated s/day", "Predicted s/day", "Error"},
+	}
+	notes := []string{
+		"Efficiencies fitted per machine on this grid (deterministic least squares);",
+		"network constants derive from the machine model and are not fitted.",
+	}
+	var allPred, allMeas []float64
+	for _, mach := range machines {
+		calib := roofline.FromModel(mach)
+		var samples []roofline.Sample
+		type row struct {
+			label string
+			raw   [roofline.NumClasses]float64
+			meas  float64
+		}
+		var rows []row
+		for _, cp := range roofline.MachineCalibPoints(mach) {
+			rep, err := run(cp.Cfg, opt)
+			if err != nil {
+				return nil, err
+			}
+			raw, err := roofline.RawSeconds(calib, cp.Cfg, opt.steps())
+			if err != nil {
+				return nil, err
+			}
+			// Compare in the paper's unit: scale raw charged-step seconds
+			// to seconds per simulated day.
+			norm, err := cp.Cfg.Normalized()
+			if err != nil {
+				return nil, err
+			}
+			perDay := float64(cp.Cfg.StepsPerDay()) / float64(opt.steps()+norm.WarmupSteps)
+			for j := range raw {
+				raw[j] *= perDay
+			}
+			samples = append(samples, roofline.Sample{
+				Machine: mach.Name, Label: cp.Label,
+				Raw: raw, Measured: rep.Total,
+			})
+			rows = append(rows, row{label: cp.Label, raw: raw, meas: rep.Total})
+		}
+		fit, err := roofline.Fit(samples, roofline.FitOptions{
+			Base:    calib.Eff,
+			Classes: roofline.ComputeClasses,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fitting %s: %w", mach.Name, err)
+		}
+		var pred, meas []float64
+		for _, r := range rows {
+			p := roofline.PredictSample(fit.Eff, r.raw)
+			pred = append(pred, p)
+			meas = append(meas, r.meas)
+			errPct := 0.0
+			if r.meas != 0 {
+				errPct = (p - r.meas) / r.meas
+			}
+			tbl.AddRow(mach.Name, r.label,
+				stats.Seconds(r.meas), stats.Seconds(p), stats.Percent(errPct))
+		}
+		allPred = append(allPred, pred...)
+		allMeas = append(allMeas, meas...)
+		mape, err := roofline.MAPE(pred, meas)
+		if err != nil {
+			return nil, err
+		}
+		notes = append(notes, fmt.Sprintf("%s: MAPE %.1f%% (eff dyn %.2f phys %.2f conv %.2f fft %.2f).",
+			mach.Name, 100*mape, fit.Eff.Dynamics, fit.Eff.Physics, fit.Eff.FilterConv, fit.Eff.FilterFFT))
+	}
+	sp, err := roofline.Spearman(allPred, allMeas)
+	if err != nil {
+		return nil, err
+	}
+	mape, err := roofline.MAPE(allPred, allMeas)
+	if err != nil {
+		return nil, err
+	}
+	notes = append(notes, fmt.Sprintf(
+		"Pooled over the %d-point machine x config grid: MAPE %.1f%%, Spearman rank correlation %.3f.",
+		len(allPred), 100*mape, sp))
+	return &Output{ID: "roofline", Title: "Roofline machine models",
+		Tables: []*stats.Table{tbl}, Notes: notes}, nil
+}

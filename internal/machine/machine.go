@@ -159,6 +159,32 @@ func IBMSP2() *Model {
 	}
 }
 
+// Host returns a nominal model of one core of the machine this process is
+// running on — a modern x86-64 server core, three decades past the paper's
+// trio.  Unlike the 1996 models, whose constants are calibrated to published
+// tables, these are placeholder ceilings: the roofline subsystem
+// (internal/roofline) observes the real host with `agcmbench -calibrate` and
+// fits a Calib whose measured ceilings and efficiencies supersede these
+// numbers for prediction.  The model exists so that host-shaped configs are
+// first-class citizens of the config schema — canonicalizable, servable, and
+// usable in experiments — and so the simulated trio has a modern yardstick.
+func Host() *Model {
+	return &Model{
+		Name:           "Host CPU",
+		FlopRate:       2.0e9, // sustained scalar loops, one core
+		MemBandwidth:   1.2e10,
+		CacheBytes:     1 << 20, // per-core L2
+		CacheLineBytes: 64,
+		CacheWays:      16,
+		KernelFlopRate: 8.0e9,
+		MissPenalty:    3e-9, // ~10 ns to LLC/DRAM amortized
+		SendOverhead:   0.3e-6,
+		RecvOverhead:   0.3e-6,
+		Latency:        1e-6,
+		Bandwidth:      1e10,
+	}
+}
+
 // Degraded returns a copy of the model with its processor slowed by the
 // given factor (> 1), network untouched — a failing fan, a shared node, a
 // slower board: the hardware-heterogeneity scenario an estimate-driven
@@ -175,15 +201,17 @@ func Degraded(m *Model, factor float64) *Model {
 	return &d
 }
 
-// All returns the three modelled machines in paper order.
+// All returns the three modelled machines in paper order.  Host is
+// deliberately excluded: the paper experiments iterate All() and compare
+// against the 1996 tables.  Host-model configs are reached through ByName.
 func All() []*Model {
 	return []*Model{Paragon(), CrayT3D(), IBMSP2()}
 }
 
 // ByName returns the model matching a machine name, case-insensitively and
 // ignoring spaces and dashes.  Both the short names used on command lines
-// ("paragon", "t3d", "sp2") and every Model.Name round-trip: ByName(m.Name)
-// returns a model equal to m for each m in All().
+// ("paragon", "t3d", "sp2", "host") and every Model.Name round-trip:
+// ByName(m.Name) returns a model equal to m for each m in All() and Host().
 func ByName(name string) (*Model, error) {
 	switch canonicalName(name) {
 	case "paragon", "intelparagon":
@@ -192,9 +220,11 @@ func ByName(name string) (*Model, error) {
 		return CrayT3D(), nil
 	case "sp2", "ibmsp2":
 		return IBMSP2(), nil
+	case "host", "hostcpu":
+		return Host(), nil
 	}
 	return nil, fmt.Errorf(
-		"machine: unknown machine %q (want paragon/\"Intel Paragon\", t3d/\"Cray T3D\" or sp2/\"IBM SP-2\", any case)",
+		"machine: unknown machine %q (want paragon/\"Intel Paragon\", t3d/\"Cray T3D\", sp2/\"IBM SP-2\" or host/\"Host CPU\", any case)",
 		name)
 }
 

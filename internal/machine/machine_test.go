@@ -89,10 +89,38 @@ func TestByName(t *testing.T) {
 	}
 }
 
+func TestHostModel(t *testing.T) {
+	h := Host()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"host", "hostcpu", "Host CPU", "HOST"} {
+		got, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if got.Name != h.Name {
+			t.Fatalf("ByName(%q).Name = %q", name, got.Name)
+		}
+	}
+	// The paper experiments iterate All(); the host must stay out of them.
+	for _, m := range All() {
+		if m.Name == h.Name {
+			t.Fatal("Host leaked into All()")
+		}
+	}
+	// Thirty years on, the host outruns every 1996 node.
+	for _, m := range All() {
+		if h.FlopRate <= m.FlopRate || h.MemBandwidth <= m.MemBandwidth {
+			t.Fatalf("host model slower than %s", m.Name)
+		}
+	}
+}
+
 func TestByNameRoundTripsModelName(t *testing.T) {
 	// The report header prints Model.Name; operators paste it back into
 	// -machine.  Every display name must resolve to the same model.
-	for _, m := range All() {
+	for _, m := range append(All(), Host()) {
 		got, err := ByName(m.Name)
 		if err != nil {
 			t.Errorf("ByName(%q): %v", m.Name, err)

@@ -1,0 +1,149 @@
+package roofline
+
+import (
+	"strings"
+	"testing"
+)
+
+func validCalib() Calib {
+	return Calib{
+		Name:           "test",
+		Aggregate:      AggregateMaxRank,
+		FlopsPerSec:    1e9,
+		BytesPerSec:    1e10,
+		NetBytesPerSec: 1e8,
+		NetLatencySec:  1e-6,
+		MsgOverheadSec: 2e-6,
+		Eff:            Efficiencies{Dynamics: 0.5, Physics: 0.25, FilterConv: 0.8, FilterFFT: 0.1, Network: 0.9},
+	}
+}
+
+func TestCalibValidate(t *testing.T) {
+	if err := validCalib().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Calib)
+	}{
+		{"empty name", func(c *Calib) { c.Name = "" }},
+		{"bad aggregate", func(c *Calib) { c.Aggregate = "mean" }},
+		{"zero flops ceiling", func(c *Calib) { c.FlopsPerSec = 0 }},
+		{"negative bandwidth", func(c *Calib) { c.BytesPerSec = -1 }},
+		{"zero net bandwidth", func(c *Calib) { c.NetBytesPerSec = 0 }},
+		{"negative latency", func(c *Calib) { c.NetLatencySec = -1e-9 }},
+		{"negative overhead", func(c *Calib) { c.MsgOverheadSec = -1 }},
+		{"zero efficiency", func(c *Calib) { c.Eff.Physics = 0 }},
+		{"negative efficiency", func(c *Calib) { c.Eff.Network = -0.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := validCalib()
+			tc.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("Validate accepted %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestCalibCanonicalJSONRoundTrip(t *testing.T) {
+	c := validCalib()
+	raw, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical means the field order is fixed by the schema, not the input.
+	for _, want := range []string{`"name"`, `"aggregate"`, `"flops_per_sec"`,
+		`"bytes_per_sec"`, `"net_bytes_per_sec"`, `"net_latency_s"`,
+		`"msg_overhead_s"`, `"efficiency"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("canonical JSON missing %s: %s", want, raw)
+		}
+	}
+	back, err := ParseCalib(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("round trip changed the calib:\n  in  %+v\n  out %+v", c, back)
+	}
+	raw2, err := back.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("re-encoding is not byte-stable:\n  %s\n  %s", raw, raw2)
+	}
+}
+
+func TestCalibHashTracksContent(t *testing.T) {
+	a := validCalib()
+	h1, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := a.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash not stable: %s vs %s", h1, h2)
+	}
+	if len(h1) != 64 {
+		t.Fatalf("hash is not sha-256 hex: %q", h1)
+	}
+	b := a
+	b.FlopsPerSec *= 2
+	h3, err := b.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3 == h1 {
+		t.Fatal("different calibs share a hash")
+	}
+	bad := a
+	bad.Name = ""
+	if _, err := bad.Hash(); err == nil {
+		t.Fatal("Hash accepted an invalid calib")
+	}
+}
+
+func TestParseCalibRejectsUnknownAndTrailing(t *testing.T) {
+	good, err := validCalib().CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withUnknown := strings.Replace(string(good), `"name"`, `"flop_ceiling":1,"name"`, 1)
+	if _, err := ParseCalib([]byte(withUnknown)); err == nil {
+		t.Fatal("ParseCalib accepted an unknown field")
+	}
+	if _, err := ParseCalib(append(append([]byte{}, good...), []byte("{}")...)); err == nil {
+		t.Fatal("ParseCalib accepted trailing data")
+	}
+	if _, err := ParseCalib([]byte(`{"name":"x"}`)); err == nil {
+		t.Fatal("ParseCalib accepted an invalid calib")
+	}
+}
+
+func TestEfficienciesByClass(t *testing.T) {
+	e := Efficiencies{Dynamics: 0.1, Physics: 0.2, FilterConv: 0.3, FilterFFT: 0.4, Network: 0.5}
+	want := map[string]float64{
+		ClassDynamics: 0.1, ClassPhysics: 0.2, ClassFilterConv: 0.3,
+		ClassFilterFFT: 0.4, ClassNetwork: 0.5,
+	}
+	for i, class := range Classes {
+		if got := e.ByClass(class); got != want[class] {
+			t.Fatalf("ByClass(%s) = %g, want %g", class, got, want[class])
+		}
+		if got := e.withClass(class, float64(i)+10).ByClass(class); got != float64(i)+10 {
+			t.Fatalf("withClass(%s) did not stick", class)
+		}
+	}
+	if got := e.ByClass("unclassified"); got != 1 {
+		t.Fatalf("unknown class must charge the raw bound, got eff %g", got)
+	}
+	if NumClasses != len(Classes) {
+		t.Fatalf("NumClasses %d != len(Classes) %d", NumClasses, len(Classes))
+	}
+}

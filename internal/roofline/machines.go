@@ -1,0 +1,71 @@
+package roofline
+
+import (
+	"fmt"
+
+	"agcm/internal/machine"
+)
+
+// FromModel derives a roofline calibration from a linear machine model: the
+// model's sustained rates become the ceilings, its message terms become the
+// network constants, and the efficiencies start at unit — to be fitted
+// against the simulation (Fit) or kept at unit when the linear model itself
+// is the ground truth being approximated.
+//
+// The paper machines execute one rank per node, so the derived calibration
+// aggregates on the critical path.
+func FromModel(m *machine.Model) Calib {
+	return Calib{
+		Name:           m.Name,
+		Aggregate:      AggregateMaxRank,
+		FlopsPerSec:    m.FlopRate,
+		BytesPerSec:    m.MemBandwidth,
+		NetBytesPerSec: m.Bandwidth,
+		NetLatencySec:  m.Latency,
+		MsgOverheadSec: m.SendOverhead + m.RecvOverhead,
+		Eff:            Efficiencies{Dynamics: 1, Physics: 1, FilterConv: 1, FilterFFT: 1, Network: 1},
+	}
+}
+
+// DefaultHost returns the host CPU's calibration as fitted by
+// `agcmbench -calibrate` on the reference container (the numbers behind the
+// committed BENCH_10.json).  Ceilings are measured by the micro-benchmarks
+// (one core, scalar Go loops); efficiencies are least-squares fits over the
+// phase benchmarks.  Run `agcmbench -calibrate` to refit on the current
+// host; this baked-in value is the fallback the `-cost-oracle roofline`
+// daemon flag uses when no calibration file is given.
+//
+// The host executes every simulated rank on one machine, so it aggregates
+// total work, not the critical path.
+func DefaultHost() Calib {
+	return Calib{
+		Name:           "host",
+		Aggregate:      AggregateSum,
+		FlopsPerSec:    3055576277.5083923,
+		BytesPerSec:    18946634014.62566,
+		NetBytesPerSec: 9473317007.31283,
+		NetLatencySec:  0,
+		MsgOverheadSec: 1.0e-6,
+		Eff: Efficiencies{
+			Dynamics:   2.160031516168156,
+			Physics:    4.273914344262374,
+			FilterConv: 1.813989414417996,
+			FilterFFT:  0.3240541741447226,
+			Network:    0.11010412802215186,
+		},
+	}
+}
+
+// ByName returns the named machine's calibration: the three paper machines
+// (derived from their linear models) or "host" (the reference-fitted
+// DefaultHost).  Accepts the same spellings machine.ByName does.
+func ByName(name string) (Calib, error) {
+	m, err := machine.ByName(name)
+	if err != nil {
+		return Calib{}, fmt.Errorf("roofline: %w", err)
+	}
+	if m.Name == machine.Host().Name {
+		return DefaultHost(), nil
+	}
+	return FromModel(m), nil
+}

@@ -1,0 +1,62 @@
+package roofline
+
+import (
+	"testing"
+
+	"agcm/internal/machine"
+)
+
+func TestFromModelDerivesPaperMachines(t *testing.T) {
+	for _, m := range machine.All() {
+		c := FromModel(m)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if c.Name != m.Name || c.Aggregate != AggregateMaxRank {
+			t.Fatalf("%s: calib misnamed or wrong aggregate: %+v", m.Name, c)
+		}
+		if c.FlopsPerSec != m.FlopRate || c.BytesPerSec != m.MemBandwidth ||
+			c.NetBytesPerSec != m.Bandwidth || c.NetLatencySec != m.Latency ||
+			c.MsgOverheadSec != m.SendOverhead+m.RecvOverhead {
+			t.Fatalf("%s: ceilings do not match the linear model: %+v", m.Name, c)
+		}
+		if c.Eff != (Efficiencies{Dynamics: 1, Physics: 1, FilterConv: 1, FilterFFT: 1, Network: 1}) {
+			t.Fatalf("%s: derived calib must start at unit efficiency", m.Name)
+		}
+	}
+}
+
+func TestDefaultHostIsValid(t *testing.T) {
+	c := DefaultHost()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Aggregate != AggregateSum {
+		t.Fatalf("host must aggregate total work, got %q", c.Aggregate)
+	}
+	if _, err := NewMachine(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"host", "hostcpu", "Host CPU"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if c != DefaultHost() {
+			t.Fatalf("%s: expected the fitted host calib, got %+v", name, c)
+		}
+	}
+	c, err := ByName("paragon")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != FromModel(machine.Paragon()) {
+		t.Fatalf("paragon calib diverges from its model: %+v", c)
+	}
+	if _, err := ByName("cm-5"); err == nil {
+		t.Fatal("accepted an unknown machine")
+	}
+}

@@ -1,0 +1,86 @@
+package roofline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MAPE returns the mean absolute percentage error of predicted against
+// measured, in [0, inf) as a fraction (0.25 = 25%).  Pairs with a zero
+// measurement are rejected — a calibration gate must not divide by zero
+// silently.
+func MAPE(predicted, measured []float64) (float64, error) {
+	if len(predicted) != len(measured) || len(predicted) == 0 {
+		return 0, fmt.Errorf("roofline: MAPE needs equal non-empty series, got %d and %d",
+			len(predicted), len(measured))
+	}
+	var sum float64
+	for i := range measured {
+		if measured[i] == 0 {
+			return 0, fmt.Errorf("roofline: MAPE undefined for zero measurement at %d", i)
+		}
+		sum += math.Abs(predicted[i]-measured[i]) / math.Abs(measured[i])
+	}
+	return sum / float64(len(measured)), nil
+}
+
+// Spearman returns the Spearman rank correlation of the two series, with
+// average ranks on ties — the gate for "does the model order configurations
+// the way the machine does", which is the property a scheduling oracle
+// actually needs.  Deterministic: ranks are assigned by a canonical sort.
+func Spearman(a, b []float64) (float64, error) {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0, fmt.Errorf("roofline: Spearman needs two equal series of length >= 2, got %d and %d",
+			len(a), len(b))
+	}
+	ra := ranks(a)
+	rb := ranks(b)
+	// Pearson correlation of the rank vectors (exact under ties).
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0, fmt.Errorf("roofline: Spearman undefined for a constant series")
+	}
+	return cov / math.Sqrt(va*vb), nil
+}
+
+// ranks assigns 1-based average ranks, ties sharing the mean of their span.
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		if xs[idx[i]] != xs[idx[j]] {
+			return xs[idx[i]] < xs[idx[j]]
+		}
+		return idx[i] < idx[j] // deterministic within ties
+	})
+	r := make([]float64, len(xs))
+	for i := 0; i < len(idx); {
+		j := i
+		for j+1 < len(idx) && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			r[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return r
+}

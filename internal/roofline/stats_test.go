@@ -1,0 +1,76 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{110, 90}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("MAPE = %g, want 0.10", got)
+	}
+	perfect, err := MAPE([]float64{3, 7}, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perfect != 0 {
+		t.Fatalf("perfect prediction MAPE = %g", perfect)
+	}
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if _, err := MAPE(nil, nil); err == nil {
+		t.Fatal("accepted empty series")
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("accepted a zero measurement")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	up := []float64{1, 2, 3, 4, 5}
+	scaled := []float64{10, 40, 90, 160, 250} // monotone, nonlinear
+	got, err := Spearman(up, scaled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("monotone series Spearman = %g, want 1", got)
+	}
+	down := []float64{5, 4, 3, 2, 1}
+	got, err = Spearman(up, down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got+1) > 1e-12 {
+		t.Fatalf("reversed series Spearman = %g, want -1", got)
+	}
+	// Ties take average ranks; correlation stays well-defined and below 1.
+	tied, err := Spearman([]float64{1, 1, 2, 3}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tied > 0.9 && tied < 1) {
+		t.Fatalf("tied series Spearman = %g, want in (0.9, 1)", tied)
+	}
+	if _, err := Spearman([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("accepted a length-1 series")
+	}
+	if _, err := Spearman([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("accepted a constant series")
+	}
+}
+
+func TestRanksAverageTies(t *testing.T) {
+	r := ranks([]float64{10, 20, 10, 30})
+	want := []float64{1.5, 3, 1.5, 4}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranks = %v, want %v", r, want)
+		}
+	}
+}

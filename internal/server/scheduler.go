@@ -10,8 +10,13 @@ package server
 //             behavior, and still the default),
 //   priority  SLO class first (interactive before batch), then admission
 //             priority, then arrival,
-//   sjf       cheapest predicted job first (the machine cost model's
-//             PredictCost is the oracle), arrival breaks ties.
+//   sjf       cheapest predicted job first (the configured core.CostOracle;
+//             the linear PredictCost by default, the calibrated roofline
+//             model under `-cost-oracle roofline`), arrival breaks ties.
+//             A job whose prediction failed carries the cost-0 sentinel: it
+//             sorts ahead of every priced job and the Seq tie-break makes
+//             those jobs mutually fcfs — prediction failure degrades the
+//             ordering, never the admission.
 //
 // Scheduling never changes results — the same config produces the same
 // bytes under any policy — only who waits.

@@ -78,6 +78,11 @@ type Options struct {
 	// Runner executes simulations; nil means core.RunContext.  Tests
 	// substitute blockers and counters.
 	Runner Runner
+	// CostOracle prices jobs for the sjf scheduler; nil means the built-in
+	// linear core.PredictCost.  `agcmd -cost-oracle roofline` installs a
+	// calibrated roofline.Machine here so job ordering follows predicted
+	// host seconds instead of 1996 virtual seconds.
+	CostOracle core.CostOracle
 }
 
 func (o Options) withDefaults() Options {
@@ -446,11 +451,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// The sjf oracle: predicted run time from the machine cost model.  A
-	// config that canonicalized cannot fail prediction; the zero fallback
-	// just means "schedule it first" rather than an error path.
-	cost, err := core.PredictCost(cfg, steps)
+	// The sjf oracle: predicted run time from the configured cost oracle
+	// (linear machine model by default, roofline when installed).  A failed
+	// prediction must degrade the *ordering*, never the service: cost 0 is
+	// the sentinel that sorts the job ahead of every priced job, where the
+	// Seq tie-break reduces to fcfs order — the job still runs, it is just
+	// no longer sized.  Real predictions are always positive, so the
+	// sentinel cannot collide.
+	cost, err := core.PredictCostWith(s.opt.CostOracle, cfg, steps)
 	if err != nil {
+		s.metrics.IncRequest("predict_fallback")
 		cost = 0
 	}
 	job := &Job{

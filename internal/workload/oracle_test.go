@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"agcm/internal/core"
+)
+
+type fixedOracle struct {
+	seconds float64
+	err     error
+	calls   int
+}
+
+func (o *fixedOracle) Name() string { return "fixed" }
+
+func (o *fixedOracle) PredictSeconds(cfg core.Config, steps int) (float64, error) {
+	o.calls++
+	if o.err != nil {
+		return 0, o.err
+	}
+	return o.seconds * float64(steps), nil
+}
+
+// TestSimulateUsesInjectedOracle checks the SimOptions.Oracle seam: the
+// what-if runs on the injected predictor's prices, not the linear model's.
+func TestSimulateUsesInjectedOracle(t *testing.T) {
+	sched := schedulingSchedule(t)
+	linear, err := Simulate(sched, SimOptions{Policy: "sjf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := &fixedOracle{seconds: 0.5}
+	priced, err := Simulate(sched, SimOptions{Policy: "sjf", Oracle: oracle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.calls == 0 {
+		t.Fatal("injected oracle never consulted")
+	}
+	if reflect.DeepEqual(linear, priced) {
+		t.Fatal("oracle prices did not reach the simulation")
+	}
+	// Still deterministic with an oracle installed.
+	again, err := Simulate(sched, SimOptions{Policy: "sjf", Oracle: &fixedOracle{seconds: 0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(priced, again) {
+		t.Fatal("oracle-priced simulation is not deterministic")
+	}
+}
+
+func TestSimulateSurfacesOracleErrors(t *testing.T) {
+	sched := schedulingSchedule(t)
+	oracle := &fixedOracle{err: fmt.Errorf("no calibration")}
+	if _, err := Simulate(sched, SimOptions{Policy: "sjf", Oracle: oracle}); err == nil {
+		t.Fatal("oracle error swallowed: the what-if would silently misprice")
+	}
+}

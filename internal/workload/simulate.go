@@ -3,7 +3,8 @@ package workload
 // Simulate: a deterministic virtual-time queueing model of the serving
 // daemon's admission queue and worker pool.  It runs a schedule through a
 // scheduling policy — the same three the live server offers — with service
-// demands from the machine cost model's PredictCost oracle, and reports
+// demands from a pluggable core.CostOracle (the linear PredictCost by
+// default, the calibrated roofline model via SimOptions.Oracle), and reports
 // per-class latency and fairness.  Everything is integer microseconds and
 // fixed-order iteration, so the same (schedule, options) always produces
 // the same result: BENCH_9's scheduler comparison is a committable
@@ -44,6 +45,12 @@ type SimOptions struct {
 	// host executes simulated work relative to the workload clock; the
 	// policy comparison holds at any fixed scale.
 	ServiceScale float64
+	// Oracle prices requests; nil means the built-in linear
+	// core.PredictCost.  Install a roofline.Machine (via
+	// core.CostOracle) to drive the what-if on predicted host seconds —
+	// with ServiceScale 1, the virtual timeline then reads in real host
+	// time.
+	Oracle core.CostOracle
 }
 
 // simJob is one request in flight through the model.
@@ -220,7 +227,7 @@ func Simulate(sched *Schedule, opt SimOptions) (*SimResult, error) {
 		if err != nil {
 			return 0, err
 		}
-		sec, err := core.PredictCost(cfg, r.Steps)
+		sec, err := core.PredictCostWith(opt.Oracle, cfg, r.Steps)
 		if err != nil {
 			return 0, err
 		}
